@@ -1,0 +1,406 @@
+package tarm
+
+// One benchmark per experiment of EXPERIMENTS.md (E1–E10), so
+// `go test -bench=.` regenerates a timing point for every table and
+// figure, plus micro-benchmarks of the counting substrates. The full
+// parameter sweeps (whole tables, recovery scores) come from
+// `go run ./cmd/tarmine -experiment all`, which shares the harness in
+// internal/bench.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/bench"
+	"github.com/tarm-project/tarm/internal/core"
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+	"github.com/tarm-project/tarm/internal/tml"
+)
+
+// benchDataset caches the standard dataset across benchmarks.
+var benchDataset *tdb.TxTable
+
+func dataset(b *testing.B) *tdb.TxTable {
+	b.Helper()
+	if benchDataset == nil {
+		tbl, _, err := bench.StandardDataset(bench.StandardConfig{TxPerDay: 50, Seed: 1998})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDataset = tbl
+	}
+	return benchDataset
+}
+
+// BenchmarkE1MissedRules times each miner of the E1 comparison on the
+// standard dataset (364 days × 50 tx/day).
+func BenchmarkE1MissedRules(b *testing.B) {
+	tbl := dataset(b)
+	cfg := bench.Cfg()
+	b.Run("traditional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MineTraditional(tbl, cfg.MinSupport, cfg.MinConfidence, cfg.MaxK); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("taskI-periods", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MineValidPeriods(tbl, cfg, core.PeriodConfig{MinLen: 7}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("taskII-cycles", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MineCycles(tbl, cfg, core.CycleConfig{MaxLen: 10, MinReps: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("taskII-calendars", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MineCalendarPeriodicities(tbl, cfg, core.CycleConfig{MinReps: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("taskIII-during", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MineDuringExpr(tbl, cfg, "month in (jun..aug)"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE2SupportSweep times Task I across the minimum-support axis.
+func BenchmarkE2SupportSweep(b *testing.B) {
+	tbl := dataset(b)
+	for _, s := range []float64{0.25, 0.15, 0.10, 0.05} {
+		b.Run(fmt.Sprintf("minsup=%.2f", s), func(b *testing.B) {
+			cfg := bench.Cfg()
+			cfg.MinSupport = s
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineValidPeriods(tbl, cfg, core.PeriodConfig{MinLen: 7}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3ScaleUp times Task I as the database grows (the linear
+// scale-up figure): longer history at fixed daily volume.
+func BenchmarkE3ScaleUp(b *testing.B) {
+	for _, days := range []int{91, 182, 364} {
+		tbl, _, err := bench.StandardDataset(bench.StandardConfig{TxPerDay: 100, Days: days, Seed: 1998})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("tx=%d", tbl.Len()), func(b *testing.B) {
+			cfg := bench.Cfg()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineValidPeriods(tbl, cfg, core.PeriodConfig{MinLen: 7}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4TransactionSize times Task I as the mean basket grows.
+func BenchmarkE4TransactionSize(b *testing.B) {
+	for _, sz := range []float64{5, 10, 15} {
+		tbl, _, err := bench.StandardDataset(bench.StandardConfig{TxPerDay: 50, AvgTxLen: sz, Seed: 1998})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("T=%.0f", sz), func(b *testing.B) {
+			cfg := bench.Cfg()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineValidPeriods(tbl, cfg, core.PeriodConfig{MinLen: 7}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5ValidPeriodRecovery times the full Task I recovery
+// experiment (dataset generation excluded would hide nothing: the
+// mining dominates, but we still keep generation out of the loop).
+func BenchmarkE5ValidPeriodRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E5ValidPeriodRecovery(50, 1998); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6CycleRecovery times Task II across the MaxLen axis.
+func BenchmarkE6CycleRecovery(b *testing.B) {
+	tbl := dataset(b)
+	cfg := bench.Cfg()
+	cfg.MinFreq = 0.9
+	for _, maxLen := range []int{7, 14, 31} {
+		b.Run(fmt.Sprintf("maxlen=%d", maxLen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineCycles(tbl, cfg, core.CycleConfig{MaxLen: maxLen, MinReps: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7CycleAblation is the sequential vs interleaved pair: same
+// results, different counting work.
+func BenchmarkE7CycleAblation(b *testing.B) {
+	tbl := dataset(b)
+	cfg := bench.Cfg()
+	cfg.MinFreq = 1
+	ccfg := core.CycleConfig{MaxLen: 14, MinReps: 4}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.MineItemsetCyclesSequential(tbl, cfg, ccfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("interleaved", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.MineItemsetCyclesInterleaved(tbl, cfg, ccfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8CalendarSelectivity times Task III across feature widths.
+func BenchmarkE8CalendarSelectivity(b *testing.B) {
+	tbl := dataset(b)
+	cfg := bench.Cfg()
+	for _, expr := range []string{"always", "month in (1..6)", "weekday in (sat, sun)", "month in (1)"} {
+		p, err := timegran.ParsePattern(expr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(expr, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineDuring(tbl, cfg, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9TML times each TML statement form end to end (parse, plan,
+// mine, render) through the IQMS session.
+func BenchmarkE9TML(b *testing.B) {
+	src := dataset(b)
+	db := tdb.NewMemDB()
+	dst, err := db.CreateTxTable("baskets")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src.Each(func(tx tdb.Tx) bool {
+		dst.Append(tx.At, tx.Items)
+		return true
+	})
+	session := tml.NewSession(db)
+	stmts := map[string]string{
+		"sql-groupby":    `SELECT item, COUNT(*) AS n FROM baskets GROUP BY item ORDER BY n DESC LIMIT 5`,
+		"mine-rules":     `MINE RULES FROM baskets THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 MAX SIZE 3`,
+		"mine-during":    `MINE RULES FROM baskets DURING 'month in (jun..aug)' THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 FREQUENCY 0.8 MAX SIZE 3`,
+		"mine-periods":   `MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 FREQUENCY 0.8 MIN LENGTH 7 MAX SIZE 3`,
+		"mine-cycles":    `MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 FREQUENCY 0.9 MAX LENGTH 10 MIN REPS 4 MAX SIZE 3`,
+		"mine-calendars": `MINE CALENDARS FROM baskets THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 FREQUENCY 0.8 MIN REPS 4 MAX SIZE 3`,
+	}
+	for name, stmt := range stmts {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := session.Exec(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10FrequencySweep times Task II across the frequency
+// threshold axis.
+func BenchmarkE10FrequencySweep(b *testing.B) {
+	tbl := dataset(b)
+	for _, mf := range []float64{1.0, 0.9, 0.7} {
+		b.Run(fmt.Sprintf("minfreq=%.1f", mf), func(b *testing.B) {
+			cfg := bench.Cfg()
+			cfg.MinFreq = mf
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineCycles(tbl, cfg, core.CycleConfig{MaxLen: 10, MinReps: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Substrate micro-benchmarks.
+
+// BenchmarkHashTreeVsNaive compares the hash-tree counter against the
+// per-candidate subset test it replaces.
+func BenchmarkHashTreeVsNaive(b *testing.B) {
+	tbl := dataset(b)
+	src := tbl.All()
+	// Build a realistic 2-candidate set from the frequent singles.
+	f, err := apriori.Mine(src, apriori.Config{MinSupport: 0.01, MaxK: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := apriori.GenerateCandidates(f.ByK[1])
+	if len(cands) == 0 {
+		b.Fatal("no candidates")
+	}
+	b.Run(fmt.Sprintf("hashtree-%dcands", len(cands)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := apriori.CountSets(src, cands, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("naive-%dcands", len(cands)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			apriori.CountSetsNaive(src, cands)
+		}
+	})
+}
+
+// BenchmarkHoldTableBuild times the shared per-granule counting pass by
+// itself.
+func BenchmarkHoldTableBuild(b *testing.B) {
+	tbl := dataset(b)
+	cfg := bench.Cfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildHoldTable(tbl, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHoldTableWorkers is the parallel-counting ablation: the
+// same build with 1, 2, 4 and 8 workers.
+func BenchmarkHoldTableWorkers(b *testing.B) {
+	tbl := dataset(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := bench.Cfg()
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildHoldTable(tbl, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtendVsRebuild is the incremental-maintenance ablation:
+// one new day arrives on a year of history — top up the hold table vs
+// recount everything.
+func BenchmarkExtendVsRebuild(b *testing.B) {
+	tbl, _, err := bench.StandardDataset(bench.StandardConfig{TxPerDay: 50, Seed: 1998})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := bench.Cfg()
+	h, err := core.BuildHoldTable(tbl, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Append one day past the span.
+	span, _ := tbl.Span(timegran.Day)
+	day := timegran.Start(span.Hi+1, timegran.Day)
+	for i := 0; i < 50; i++ {
+		tbl.Append(day.Add(time.Duration(i)*time.Minute), itemset.New(itemset.Item(i%30), itemset.Item(30+i%30)))
+	}
+	b.Run("extend", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := h.Extend(tbl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildHoldTable(tbl, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHashTreeParams is the hash-tree tuning ablation DESIGN.md
+// calls out: fanout × leaf-size combinations on realistic candidates.
+func BenchmarkHashTreeParams(b *testing.B) {
+	tbl := dataset(b)
+	src := tbl.All()
+	f, err := apriori.Mine(src, apriori.Config{MinSupport: 0.01, MaxK: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := apriori.GenerateCandidates(f.ByK[1])
+	if len(cands) == 0 {
+		b.Fatal("no candidates")
+	}
+	for _, fanout := range []int{4, 8, 16} {
+		for _, leaf := range []int{4, 16, 64} {
+			b.Run(fmt.Sprintf("fanout=%d/leaf=%d", fanout, leaf), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tree, err := apriori.NewHashTree(cands, 2, fanout, leaf)
+					if err != nil {
+						b.Fatal(err)
+					}
+					src.ForEach(tree.Add)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPatternParse times the calendar-algebra parser.
+func BenchmarkPatternParse(b *testing.B) {
+	const expr = "month in (jun..aug) and (weekday in (sat, sun) or every 7 offset 2) and not (between 1998-01-01 and 1998-02-01)"
+	for i := 0; i < b.N; i++ {
+		if _, err := timegran.ParsePattern(expr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkItemsetOps times the kernel set operations.
+func BenchmarkItemsetOps(b *testing.B) {
+	a := itemset.New(1, 5, 9, 13, 22, 40, 41, 57)
+	c := itemset.New(5, 9, 22, 57, 58)
+	tx := itemset.New(1, 2, 5, 7, 9, 13, 20, 22, 33, 40, 41, 50, 57, 58, 60)
+	b.Run("ContainsAll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tx.ContainsAll(a)
+		}
+	})
+	b.Run("Union", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = a.Union(c)
+		}
+	})
+	b.Run("Key", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = a.Key()
+		}
+	})
+}

@@ -1,0 +1,243 @@
+// Command iqms is the integrated query and mining system: a REPL that
+// accepts both SQL (data understanding) and TML MINE statements (ad-hoc
+// temporal mining) over one database, implementing the iterative
+// mining process of the paper's Figure 1.
+//
+// Usage:
+//
+//	iqms -db ./data          # open or create a database directory
+//	iqms -db ./data -f run.sql  # execute a script, then exit
+//
+// Inside the REPL:
+//
+//	sql> SELECT item, COUNT(*) FROM baskets GROUP BY item;
+//	sql> MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.05 CONFIDENCE 0.6;
+//	sql> \tables    \help    \quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/tarm-project/tarm/internal/minisql"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/tml"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "database directory (empty: in-memory)")
+	script := flag.String("f", "", "execute statements from this file and exit")
+	flag.Parse()
+
+	var db *tdb.DB
+	var err error
+	if *dbDir != "" {
+		db, err = tdb.Open(*dbDir)
+	} else {
+		db = tdb.NewMemDB()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iqms:", err)
+		os.Exit(1)
+	}
+	session := tml.NewSession(db)
+
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iqms:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := run(session, db, f, os.Stdout, false); err != nil {
+			fmt.Fprintln(os.Stderr, "iqms:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println("IQMS — integrated query and mining system. \\help for help, \\quit to exit.")
+	if err := run(session, db, os.Stdin, os.Stdout, true); err != nil {
+		fmt.Fprintln(os.Stderr, "iqms:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes statements from r. Statements may span lines and end at
+// ';' (or at end of line for \-commands). In interactive mode errors
+// are printed and the loop continues; in script mode the first error
+// aborts.
+func run(session *tml.Session, db *tdb.DB, r io.Reader, w io.Writer, interactive bool) error {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if interactive {
+			if buf.Len() == 0 {
+				fmt.Fprint(w, "sql> ")
+			} else {
+				fmt.Fprint(w, "...> ")
+			}
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			done, err := metaCommand(trimmed, db, w)
+			if err != nil {
+				if !interactive {
+					return err
+				}
+				fmt.Fprintln(w, "error:", err)
+			}
+			if done {
+				return nil
+			}
+			prompt()
+			continue
+		}
+		if buf.Len() == 0 && trimmed == "" {
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt()
+			continue
+		}
+		stmt := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if err := execOne(session, stmt, w); err != nil {
+			if !interactive {
+				return err
+			}
+			fmt.Fprintln(w, "error:", err)
+		}
+		prompt()
+	}
+	if interactive {
+		fmt.Fprintln(w)
+	}
+	return scanner.Err()
+}
+
+func execOne(session *tml.Session, stmt string, w io.Writer) error {
+	res, err := session.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	minisql.Format(w, res)
+	return nil
+}
+
+// metaCommand handles \-commands; it reports whether the session
+// should end.
+func metaCommand(cmd string, db *tdb.DB, w io.Writer) (quit bool, err error) {
+	switch fields := strings.Fields(cmd); fields[0] {
+	case "\\quit", "\\q":
+		return true, nil
+	case "\\tables", "\\t":
+		for _, n := range db.Names() {
+			kind := "table"
+			if db.IsTxTable(n) {
+				kind = "transactions"
+			}
+			fmt.Fprintf(w, "%-24s %s\n", n, kind)
+		}
+		return false, nil
+	case "\\save":
+		if err := db.Flush(); err != nil {
+			return false, err
+		}
+		fmt.Fprintln(w, "database saved")
+		return false, nil
+	case "\\import":
+		if len(fields) != 3 {
+			return false, fmt.Errorf("usage: \\import <table> <file.csv>")
+		}
+		return false, importCSV(db, fields[1], fields[2], w)
+	case "\\export":
+		if len(fields) != 3 {
+			return false, fmt.Errorf("usage: \\export <table> <file.csv>")
+		}
+		return false, exportCSV(db, fields[1], fields[2], w)
+	case "\\help", "\\h":
+		fmt.Fprint(w, `Statements end with ';'.
+SQL:  SELECT ... FROM t [WHERE ...] [GROUP BY ... [HAVING ...]] [ORDER BY ...] [LIMIT n];
+      INSERT INTO t VALUES (...); UPDATE t SET col = e [WHERE ...]; DELETE FROM t [WHERE ...];
+      CREATE TABLE t (col type, ...); SHOW TABLES; DESCRIBE t; DROP TABLE t;
+TML:  MINE RULES FROM t [DURING '<pattern>'] THRESHOLD SUPPORT s CONFIDENCE c [FREQUENCY f];
+      MINE PERIODS FROM t THRESHOLD ... [MIN LENGTH n];
+      MINE CYCLES FROM t THRESHOLD ... [MAX LENGTH n] [MIN REPS n];
+      MINE CALENDARS FROM t THRESHOLD ... [MIN REPS n];
+      MINE HISTORY FROM t RULE 'a, b => c' THRESHOLD ...;
+      EXPLAIN MINE ...;
+Patterns: month in (jun..aug) | weekday in (sat,sun) | every 7 offset 2 |
+          between 1998-01-01 and 1998-06-30 | and/or/not combinations
+Meta: \tables  \save  \import <table> <file.csv>  \export <table> <file.csv>  \help  \quit
+CSV:  transaction tables use "timestamp,item1;item2"; relational tables a header row.
+`)
+		return false, nil
+	default:
+		return false, fmt.Errorf("unknown command %s (try \\help)", fields[0])
+	}
+}
+
+// importCSV loads a CSV file into an existing table of either kind; a
+// missing transaction table is created (the common bootstrap case).
+func importCSV(db *tdb.DB, table, path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if t, ok := db.Table(table); ok {
+		n, err := tdb.ImportTable(f, t)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d row(s) imported into %s\n", n, table)
+		return nil
+	}
+	t, ok := db.TxTable(table)
+	if !ok {
+		var err error
+		t, err = db.CreateTxTable(table)
+		if err != nil {
+			return err
+		}
+	}
+	n, err := tdb.ImportBaskets(f, t, db.Dict())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d transaction(s) imported into %s\n", n, table)
+	return nil
+}
+
+// exportCSV writes a transaction table as basket CSV.
+func exportCSV(db *tdb.DB, table, path string, w io.Writer) error {
+	t, ok := db.TxTable(table)
+	if !ok {
+		return fmt.Errorf("no transaction table named %q (relational export: use SELECT)", table)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tdb.ExportBaskets(f, t, db.Dict()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d transaction(s) exported to %s\n", t.Len(), path)
+	return nil
+}

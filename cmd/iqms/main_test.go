@@ -1,0 +1,139 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/tml"
+)
+
+func testDB(t *testing.T) *tdb.DB {
+	t.Helper()
+	db := tdb.NewMemDB()
+	baskets, err := db.CreateTxTable("baskets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2024, 1, 1, 9, 0, 0, 0, time.UTC)
+	for d := 0; d < 14; d++ {
+		for i := 0; i < 6; i++ {
+			baskets.Append(at.AddDate(0, 0, d), db.Dict().InternAll("bread", "milk"))
+		}
+	}
+	return db
+}
+
+func TestRunScript(t *testing.T) {
+	db := testDB(t)
+	session := tml.NewSession(db)
+	script := strings.NewReader(`
+SELECT item, COUNT(*) AS n
+FROM baskets
+GROUP BY item;
+
+MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.6;
+`)
+	var out strings.Builder
+	if err := run(session, db, script, &out, false); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "bread") || !strings.Contains(text, "{milk}") {
+		t.Errorf("script output missing expected content:\n%s", text)
+	}
+}
+
+func TestRunScriptAbortsOnError(t *testing.T) {
+	db := testDB(t)
+	session := tml.NewSession(db)
+	script := strings.NewReader("SELECT nope FROM baskets;\nSELECT 1 FROM baskets;")
+	var out strings.Builder
+	if err := run(session, db, script, &out, false); err == nil {
+		t.Error("script error not propagated")
+	}
+}
+
+func TestRunInteractiveContinuesOnError(t *testing.T) {
+	db := testDB(t)
+	session := tml.NewSession(db)
+	input := strings.NewReader("SELECT nope FROM baskets;\nSHOW TABLES;\n\\quit\n")
+	var out strings.Builder
+	if err := run(session, db, input, &out, true); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "error:") {
+		t.Errorf("error not surfaced:\n%s", text)
+	}
+	if !strings.Contains(text, "baskets") {
+		t.Errorf("session did not continue after error:\n%s", text)
+	}
+}
+
+func TestMetaCommands(t *testing.T) {
+	db := testDB(t)
+	var out strings.Builder
+
+	quit, err := metaCommand(`\tables`, db, &out)
+	if err != nil || quit {
+		t.Fatalf("\\tables: %v, quit=%v", err, quit)
+	}
+	if !strings.Contains(out.String(), "baskets") || !strings.Contains(out.String(), "transactions") {
+		t.Errorf("\\tables output: %q", out.String())
+	}
+
+	quit, err = metaCommand(`\q`, db, &out)
+	if err != nil || !quit {
+		t.Errorf("\\q: %v, quit=%v", err, quit)
+	}
+
+	out.Reset()
+	quit, err = metaCommand(`\help`, db, &out)
+	if err != nil || quit || !strings.Contains(out.String(), "MINE RULES") {
+		t.Errorf("\\help broken: %v %q", err, out.String())
+	}
+
+	if _, err := metaCommand(`\bogus`, db, &out); err == nil {
+		t.Error("unknown meta command accepted")
+	}
+
+	// \save on a memory DB must fail cleanly.
+	if _, err := metaCommand(`\save`, db, &out); err == nil {
+		t.Error("\\save on memory DB succeeded")
+	}
+}
+
+func TestImportExportCSV(t *testing.T) {
+	db := testDB(t)
+	dir := t.TempDir()
+	var out strings.Builder
+
+	// Export the fixture, then import into a fresh table.
+	exportPath := dir + "/out.csv"
+	if _, err := metaCommand(`\export baskets `+exportPath, db, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := metaCommand(`\import copied `+exportPath, db, &out); err != nil {
+		t.Fatal(err)
+	}
+	copied, ok := db.TxTable("copied")
+	if !ok || copied.Len() != 84 {
+		t.Fatalf("copied table missing or wrong size: %v", copied)
+	}
+	if !strings.Contains(out.String(), "84 transaction(s) imported") {
+		t.Errorf("output: %q", out.String())
+	}
+
+	// Errors: bad arity, missing file, export of unknown table.
+	if _, err := metaCommand(`\import onlytable`, db, &out); err == nil {
+		t.Error("bad arity accepted")
+	}
+	if _, err := metaCommand(`\import t `+dir+`/nope.csv`, db, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := metaCommand(`\export nosuch `+dir+`/x.csv`, db, &out); err == nil {
+		t.Error("export of unknown table accepted")
+	}
+}

@@ -1,0 +1,82 @@
+// Command tarmine is the batch front end: it executes a single TML or
+// SQL statement against a database directory, or runs the experiment
+// suite that regenerates the tables and figures of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	tarmine -db ./data -e "MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.1 CONFIDENCE 0.6"
+//	tarmine -experiment e1          # one experiment
+//	tarmine -experiment all         # the full suite (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/tarm-project/tarm/internal/bench"
+	"github.com/tarm-project/tarm/internal/minisql"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/tml"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "database directory")
+	stmt := flag.String("e", "", "statement to execute (TML or SQL)")
+	experiment := flag.String("experiment", "", "experiment id (e1..e10) or 'all'")
+	flag.Parse()
+
+	switch {
+	case *experiment != "":
+		if err := runExperiments(*experiment); err != nil {
+			fmt.Fprintln(os.Stderr, "tarmine:", err)
+			os.Exit(1)
+		}
+	case *stmt != "":
+		if *dbDir == "" {
+			fmt.Fprintln(os.Stderr, "tarmine: -e needs -db")
+			os.Exit(2)
+		}
+		if err := execStatement(*dbDir, *stmt, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tarmine:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// execStatement opens the database and runs one TML or SQL statement.
+func execStatement(dbDir, stmt string, w io.Writer) error {
+	db, err := tdb.Open(dbDir)
+	if err != nil {
+		return err
+	}
+	res, err := tml.NewSession(db).Exec(stmt)
+	if err != nil {
+		return err
+	}
+	minisql.Format(w, res)
+	return nil
+}
+
+func runExperiments(id string) error {
+	ids := []string{id}
+	if id == "all" {
+		ids = bench.ExperimentIDs()
+	}
+	for _, eid := range ids {
+		run, ok := bench.Experiments[eid]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %v)", eid, bench.ExperimentIDs())
+		}
+		table, err := run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", eid, err)
+		}
+		fmt.Println(table.String())
+	}
+	return nil
+}

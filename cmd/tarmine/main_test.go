@@ -1,0 +1,60 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/tdb"
+)
+
+func TestExecStatement(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := tdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baskets, err := db.CreateTxTable("baskets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bread := db.Dict().Intern("bread")
+	milk := db.Dict().Intern("milk")
+	at := time.Date(2024, 1, 1, 9, 0, 0, 0, time.UTC)
+	for d := 0; d < 14; d++ {
+		for i := 0; i < 6; i++ {
+			baskets.Append(at.AddDate(0, 0, d), itemset.New(bread, milk))
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := execStatement(dir, `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "{bread}") {
+		t.Errorf("output: %q", out.String())
+	}
+
+	out.Reset()
+	if err := execStatement(dir, `SELECT COUNT(*) AS n FROM baskets`, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "168") { // 14 days × 6 tx × 2 items
+		t.Errorf("SQL output: %q", out.String())
+	}
+
+	if err := execStatement(dir, `MINE garbage`, &out); err == nil {
+		t.Error("bad statement accepted")
+	}
+}
+
+func TestRunExperimentsUnknown(t *testing.T) {
+	if err := runExperiments("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package tarm_test
+
+import (
+	"fmt"
+	"time"
+
+	tarm "github.com/tarm-project/tarm"
+)
+
+// build a two-week table where pancakes+syrup sell only on Sundays.
+func sundayTable() (*tarm.DB, *tarm.TxTable) {
+	db := tarm.NewMemDB()
+	baskets, _ := db.CreateTxTable("baskets")
+	start := time.Date(2024, 1, 1, 9, 0, 0, 0, time.UTC) // a Monday
+	for day := 0; day < 14; day++ {
+		at := start.AddDate(0, 0, day)
+		sunday := day%7 == 6
+		for i := 0; i < 8; i++ {
+			names := []string{"coffee"}
+			if sunday && i < 7 {
+				names = append(names, "pancakes", "syrup")
+			}
+			baskets.Append(at.Add(time.Duration(i)*time.Minute), db.Dict().InternAll(names...))
+		}
+	}
+	return db, baskets
+}
+
+func ExampleMineCalendarPeriodicities() {
+	db, baskets := sundayTable()
+	cfg := tarm.Config{
+		Granularity:   tarm.Day,
+		MinSupport:    0.5,
+		MinConfidence: 0.7,
+		MinFreq:       1.0,
+	}
+	rules, _ := tarm.MineCalendarPeriodicities(baskets, cfg, tarm.CycleConfig{MinReps: 2})
+	for _, r := range rules {
+		if r.Rule.Antecedent.Equal(db.Dict().InternAll("pancakes")) && r.Rule.Consequent.Equal(db.Dict().InternAll("syrup")) {
+			fmt.Printf("%s => %s when %s\n",
+				db.Dict().Names(r.Rule.Antecedent),
+				db.Dict().Names(r.Rule.Consequent),
+				r.Feature)
+		}
+	}
+	// Output:
+	// {pancakes} => {syrup} when weekday in (7)
+}
+
+func ExampleMineDuringExpr() {
+	db, baskets := sundayTable()
+	cfg := tarm.Config{
+		Granularity:   tarm.Day,
+		MinSupport:    0.5,
+		MinConfidence: 0.7,
+		MinFreq:       1.0,
+	}
+	rules, _ := tarm.MineDuringExpr(baskets, cfg, "weekday in (sun)")
+	for _, r := range rules {
+		if r.Rule.Antecedent.Equal(db.Dict().InternAll("pancakes")) && r.Rule.Consequent.Equal(db.Dict().InternAll("syrup")) {
+			fmt.Printf("%s => %s (conf %.2f during Sundays)\n",
+				db.Dict().Names(r.Rule.Antecedent),
+				db.Dict().Names(r.Rule.Consequent),
+				r.Rule.Confidence)
+		}
+	}
+	// Output:
+	// {pancakes} => {syrup} (conf 1.00 during Sundays)
+}
+
+func ExampleNewSession() {
+	db, _ := sundayTable()
+	session := tarm.NewSession(db)
+	res, _ := session.Exec(`SELECT item, COUNT(*) AS n FROM baskets GROUP BY item ORDER BY n DESC LIMIT 1`)
+	fmt.Println(res.Cols[0], res.Rows[0][0].Display(), res.Rows[0][1].Display())
+	// Output:
+	// item coffee 112
+}
+
+func ExampleParsePattern() {
+	p, _ := tarm.ParsePattern("month in (jun..aug) and weekday in (sat, sun)")
+	julySaturday := time.Date(2024, 7, 6, 0, 0, 0, 0, time.UTC)
+	g := tarm.Granule(julySaturday.Unix() / 86400)
+	fmt.Println(p.Matches(tarm.Day, g))
+	// Output:
+	// true
+}

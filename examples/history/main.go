@@ -1,0 +1,110 @@
+// History: result analysis with RuleHistory — render a rule's weekly
+// support profile as an ASCII chart and show interestingness pruning.
+// This is the "Result Analysis" box of the paper's IQMI loop, as a
+// library user would script it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	tarm "github.com/tarm-project/tarm"
+)
+
+func main() {
+	db := tarm.NewMemDB()
+	dict := db.Dict()
+	icecream := dict.InternAll("ice_cream", "cone")
+	for i := 0; i < 300; i++ {
+		dict.Intern(fmt.Sprintf("sku%03d", i))
+	}
+
+	summer, err := tarm.ParsePattern("month in (may..sep)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := tarm.GenerateTemporal(tarm.TemporalConfig{
+		Quest:        tarm.QuestConfig{NItems: 300, NPatterns: 80, AvgTxLen: 8, AvgPatLen: 3},
+		Start:        time.Date(1998, 1, 1, 0, 0, 0, 0, time.UTC),
+		Granularity:  tarm.Day,
+		NGranules:    364,
+		TxPerGranule: 80,
+		Rules: []tarm.PlantedRule{{
+			Name: "icecream", Items: icecream, Pattern: summer,
+			PInside: 0.3, POutside: 0.01,
+		}},
+	}, 1234)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := tarm.Config{
+		Granularity:   tarm.Day,
+		MinSupport:    0.15,
+		MinConfidence: 0.6,
+		MinFreq:       0.8,
+		MaxK:          2,
+	}
+	ante := tarm.NewItemset(icecream[0])
+	cons := tarm.NewItemset(icecream[1])
+	stats, err := tarm.RuleHistory(tbl, cfg, ante, cons)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("weekly support of %s => %s over 1998\n\n",
+		dict.Names(ante), dict.Names(cons))
+	// Fold days into weeks and draw a bar per week.
+	const daysPerBucket = 7
+	for start := 0; start < len(stats); start += daysPerBucket {
+		end := start + daysPerBucket
+		if end > len(stats) {
+			end = len(stats)
+		}
+		var count, tx int
+		for _, s := range stats[start:end] {
+			count += s.Count
+			tx += s.TxCount
+		}
+		supp := 0.0
+		if tx > 0 {
+			supp = float64(count) / float64(tx)
+		}
+		bar := strings.Repeat("█", int(supp*120+0.5))
+		label := stats[start].Granule
+		fmt.Printf("%s  %5.1f%%  %s\n", tarmFormatWeek(label), supp*100, bar)
+	}
+
+	// Pruning demo: loose mining floods, filters clean up.
+	fmt.Println("\npruning at loose thresholds (support 0.05, confidence 0.3):")
+	rules, err := tarm.MineTraditional(tbl, 0.05, 0.3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kept, pstats, err := tarm.PruneRules(rules, tarm.PruneOptions{
+		MinLift:   1.2,
+		MaxPValue: 0.001,
+		N:         tbl.Len(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d mined; %d dropped by lift, %d by significance; %d kept\n",
+		pstats.In, pstats.DropLift, pstats.DropSig, pstats.Kept)
+	tarm.SortRulesByLift(kept)
+	for i, r := range kept {
+		if i == 8 {
+			fmt.Printf("  ... and %d more\n", len(kept)-8)
+			break
+		}
+		fmt.Printf("  %s => %s (lift %.1f)\n",
+			dict.Names(r.Antecedent), dict.Names(r.Consequent), r.Lift)
+	}
+}
+
+// tarmFormatWeek labels a week by its first day.
+func tarmFormatWeek(g tarm.Granule) string {
+	return time.Unix(g*86400, 0).UTC().Format("Jan 02")
+}

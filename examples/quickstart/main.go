@@ -1,0 +1,87 @@
+// Quickstart: build a small basket table by hand, then run the three
+// temporal mining tasks over it and print what each one sees.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tarm "github.com/tarm-project/tarm"
+)
+
+func main() {
+	db := tarm.NewMemDB()
+	baskets, err := db.CreateTxTable("baskets")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Four weeks of shopping. Bread+milk sell together every day;
+	// chocolate+wine only on weekends.
+	start := time.Date(2024, 1, 1, 9, 0, 0, 0, time.UTC) // a Monday
+	for day := 0; day < 28; day++ {
+		at := start.AddDate(0, 0, day)
+		weekend := day%7 >= 5
+		for i := 0; i < 8; i++ {
+			names := []string{"bread"}
+			if i < 6 {
+				names = append(names, "milk")
+			}
+			if weekend && i < 7 {
+				names = append(names, "chocolate", "wine")
+			}
+			baskets.Append(at.Add(time.Duration(i)*time.Minute), db.Dict().InternAll(names...))
+		}
+	}
+
+	cfg := tarm.Config{
+		Granularity:   tarm.Day,
+		MinSupport:    0.5,
+		MinConfidence: 0.7,
+		MinFreq:       1.0,
+	}
+
+	fmt.Println("== Task I: valid periods ==")
+	periods, err := tarm.MineValidPeriods(baskets, cfg, tarm.PeriodConfig{MinLen: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range periods {
+		fmt.Printf("  %s => %s during %s (conf %.2f)\n",
+			db.Dict().Names(r.Rule.Antecedent), db.Dict().Names(r.Rule.Consequent),
+			r.Interval.Format(tarm.Day), r.Rule.Confidence)
+	}
+
+	fmt.Println("== Task II: periodicities ==")
+	cals, err := tarm.MineCalendarPeriodicities(baskets, cfg, tarm.CycleConfig{MinReps: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range cals {
+		fmt.Printf("  %s => %s when %s (freq %.2f)\n",
+			db.Dict().Names(r.Rule.Antecedent), db.Dict().Names(r.Rule.Consequent),
+			r.Feature, r.Freq)
+	}
+
+	fmt.Println("== Task III: rules during weekends ==")
+	during, err := tarm.MineDuringExpr(baskets, cfg, "weekday in (sat, sun)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range during {
+		fmt.Printf("  %s => %s (supp %.2f, conf %.2f)\n",
+			db.Dict().Names(r.Rule.Antecedent), db.Dict().Names(r.Rule.Consequent),
+			r.Rule.Support, r.Rule.Confidence)
+	}
+
+	fmt.Println("== Traditional Apriori over the whole month ==")
+	trad, err := tarm.MineTraditional(baskets, 0.5, 0.7, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range trad {
+		fmt.Printf("  %s => %s (supp %.2f) — note: no weekend rule here\n",
+			db.Dict().Names(r.Antecedent), db.Dict().Names(r.Consequent), r.Support)
+	}
+}

@@ -1,0 +1,99 @@
+// Retail seasonality: a year of synthetic supermarket data with a
+// summer rule, a weekend rule and a spring promotion planted on top of
+// a Quest background, mined with Task I (valid periods) and Task III
+// (calendar-constrained mining) — the paper's motivating scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	tarm "github.com/tarm-project/tarm"
+)
+
+func main() {
+	db := tarm.NewMemDB()
+	dict := db.Dict()
+
+	// Named items; the planted ones are deliberately evocative.
+	sunscreen := dict.InternAll("sunscreen", "sunhat")
+	bbqPair := dict.InternAll("charcoal", "burgers")
+	promo := dict.InternAll("easter_egg", "gift_wrap")
+	for i := 0; i < 500; i++ {
+		dict.Intern(fmt.Sprintf("sku%04d", i))
+	}
+
+	summer, err := tarm.ParsePattern("month in (jun..aug)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	weekend, _ := tarm.ParsePattern("weekday in (sat, sun)")
+	easter, _ := tarm.ParsePattern("between 1998-03-15 and 1998-04-20")
+
+	cfg := tarm.TemporalConfig{
+		Quest:        tarm.QuestConfig{NItems: 500, NPatterns: 100, AvgTxLen: 8, AvgPatLen: 3},
+		Start:        time.Date(1998, 1, 1, 0, 0, 0, 0, time.UTC),
+		Granularity:  tarm.Day,
+		NGranules:    364,
+		TxPerGranule: 120,
+		Rules: []tarm.PlantedRule{
+			{Name: "summer", Items: sunscreen, Pattern: summer, PInside: 0.3, POutside: 0.005},
+			{Name: "weekend", Items: bbqPair, Pattern: weekend, PInside: 0.3, POutside: 0.005},
+			{Name: "easter", Items: promo, Pattern: easter, PInside: 0.4, POutside: 0.003},
+		},
+	}
+	generated, err := tarm.GenerateTemporal(cfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Copy into the database so the IQMS session can query it too.
+	baskets, err := db.CreateTxTable("baskets")
+	if err != nil {
+		log.Fatal(err)
+	}
+	generated.Each(func(tx tarm.Tx) bool {
+		baskets.Append(tx.At, tx.Items)
+		return true
+	})
+	fmt.Printf("generated %d transactions over 364 days\n\n", baskets.Len())
+
+	mine := tarm.Config{
+		Granularity:   tarm.Day,
+		MinSupport:    0.15,
+		MinConfidence: 0.6,
+		MinFreq:       0.8,
+		MaxK:          3,
+	}
+
+	fmt.Println("== Valid periods (Task I) ==")
+	periods, err := tarm.MineValidPeriods(baskets, mine, tarm.PeriodConfig{MinLen: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range periods {
+		fmt.Printf("  %s => %s during %s (freq %.2f, conf %.2f)\n",
+			dict.Names(r.Rule.Antecedent), dict.Names(r.Rule.Consequent),
+			r.Interval.Format(tarm.Day), r.Freq, r.Rule.Confidence)
+	}
+
+	fmt.Println("\n== What sells together on summer weekends? (Task III) ==")
+	during, err := tarm.MineDuringExpr(baskets, mine, "month in (jun..aug) and weekday in (sat, sun)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range during {
+		fmt.Printf("  %s => %s (supp %.3f, conf %.2f, freq %.2f)\n",
+			dict.Names(r.Rule.Antecedent), dict.Names(r.Rule.Consequent),
+			r.Rule.Support, r.Rule.Confidence, r.Freq)
+	}
+
+	fmt.Println("\n== The same through the IQMS session (TML) ==")
+	session := tarm.NewSession(db)
+	res, err := session.Exec(`MINE CALENDARS FROM baskets THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 FREQUENCY 0.8 MIN REPS 4 LIMIT 12`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tarm.FormatResult(os.Stdout, res)
+}

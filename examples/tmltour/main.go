@@ -1,0 +1,72 @@
+// TML tour: a scripted IQMS session showing the paper's Figure-1 loop —
+// understand the data with SQL, design and run a mining task in TML,
+// inspect the result, refine, repeat. Everything goes through the same
+// Session the interactive cmd/iqms uses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	tarm "github.com/tarm-project/tarm"
+)
+
+func main() {
+	db := tarm.NewMemDB()
+	dict := db.Dict()
+	baskets, err := db.CreateTxTable("baskets")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A quarter of daily data: coffee+croissant on weekday mornings,
+	// pancakes+syrup on Sundays.
+	start := time.Date(2024, 1, 1, 8, 0, 0, 0, time.UTC) // a Monday
+	for day := 0; day < 91; day++ {
+		at := start.AddDate(0, 0, day)
+		sunday := day%7 == 6
+		for i := 0; i < 12; i++ {
+			var names []string
+			if !sunday && i < 9 {
+				names = append(names, "coffee", "croissant")
+			}
+			if sunday && i < 10 {
+				names = append(names, "pancakes", "syrup")
+			}
+			names = append(names, fmt.Sprintf("filler%02d", (day+i)%40))
+			baskets.Append(at.Add(time.Duration(i)*time.Minute), dict.InternAll(names...))
+		}
+	}
+
+	session := tarm.NewSession(db)
+	script := []string{
+		// 1. Data understanding with SQL.
+		`SHOW TABLES`,
+		`DESCRIBE baskets`,
+		`SELECT item, COUNT(*) AS n FROM baskets GROUP BY item ORDER BY n DESC LIMIT 5`,
+		`SELECT COUNT(*) AS transactions, MIN(at) AS first, MAX(at) AS last FROM baskets WHERE item = 'pancakes'`,
+		// 2. A first, naive mining task: traditional rules.
+		`MINE RULES FROM baskets THRESHOLD SUPPORT 0.3 CONFIDENCE 0.6`,
+		// 3. Result analysis says the Sunday pattern is invisible;
+		//    redesign the task with a temporal feature.
+		`MINE RULES FROM baskets DURING 'weekday in (sun)' THRESHOLD SUPPORT 0.3 CONFIDENCE 0.6 FREQUENCY 0.9`,
+		// 4. And ask the system to find the periodicities by itself.
+		`MINE CALENDARS FROM baskets THRESHOLD SUPPORT 0.3 CONFIDENCE 0.6 MIN REPS 3 LIMIT 8`,
+		`MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.3 CONFIDENCE 0.6 FREQUENCY 0.9 MIN LENGTH 5 LIMIT 8`,
+		// 5. Result analysis: inspect the day-by-day history of the
+		//    Sunday rule, and preview a task before running it.
+		`MINE HISTORY FROM baskets RULE 'pancakes => syrup' THRESHOLD SUPPORT 0.3 CONFIDENCE 0.6 LIMIT 10`,
+		`EXPLAIN MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.3 CONFIDENCE 0.6 MAX LENGTH 14`,
+	}
+	for _, stmt := range script {
+		fmt.Printf("sql> %s\n", stmt)
+		res, err := session.Exec(stmt)
+		if err != nil {
+			log.Fatalf("%s: %v", stmt, err)
+		}
+		tarm.FormatResult(os.Stdout, res)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/tarm-project/tarm
+
+go 1.22

@@ -1,0 +1,219 @@
+package apriori
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+)
+
+// Config tunes a mining run. The zero value is not usable: MinSupport
+// (or MinCount) must be set.
+type Config struct {
+	// MinSupport is the minimum support as a fraction of transactions
+	// in [0,1]. A candidate is frequent when its count is at least
+	// ceil(MinSupport * N). Ignored when MinCount > 0.
+	MinSupport float64
+	// MinCount is an absolute support threshold; when positive it
+	// overrides MinSupport.
+	MinCount int
+	// MaxK bounds the size of itemsets mined; 0 means unbounded.
+	MaxK int
+	// Fanout and LeafSize tune the hash tree; 0 selects the defaults.
+	Fanout, LeafSize int
+	// NaiveCounting replaces the hash tree with the direct per-candidate
+	// subset test. Used by tests and by the counting ablation bench.
+	NaiveCounting bool
+}
+
+// minCount resolves the absolute threshold for n transactions.
+func (c Config) minCount(n int) (int, error) {
+	if c.MinCount > 0 {
+		return c.MinCount, nil
+	}
+	if c.MinSupport <= 0 || c.MinSupport > 1 {
+		return 0, fmt.Errorf("apriori: MinSupport %v outside (0,1] and no MinCount given", c.MinSupport)
+	}
+	mc := int(c.MinSupport * float64(n))
+	if float64(mc) < c.MinSupport*float64(n) {
+		mc++
+	}
+	if mc < 1 {
+		mc = 1
+	}
+	return mc, nil
+}
+
+// ItemsetCount pairs a frequent itemset with its absolute support
+// count.
+type ItemsetCount struct {
+	Set   itemset.Set
+	Count int
+}
+
+// Frequent is the result of a mining run: all frequent itemsets,
+// grouped by size, plus enough bookkeeping to look supports up during
+// rule generation.
+type Frequent struct {
+	// N is the number of transactions scanned.
+	N int
+	// MinCount is the absolute threshold that was applied.
+	MinCount int
+	// ByK[k] holds the frequent k-itemsets (ByK[0] is unused and nil).
+	// Each level is sorted in canonical itemset order.
+	ByK [][]ItemsetCount
+
+	counts map[string]int
+}
+
+// Support returns the absolute count of s, or 0 if s is not frequent.
+func (f *Frequent) Support(s itemset.Set) int { return f.counts[s.Key()] }
+
+// SupportFrac returns the support of s as a fraction of N.
+func (f *Frequent) SupportFrac(s itemset.Set) float64 {
+	if f.N == 0 {
+		return 0
+	}
+	return float64(f.counts[s.Key()]) / float64(f.N)
+}
+
+// Contains reports whether s was found frequent.
+func (f *Frequent) Contains(s itemset.Set) bool {
+	_, ok := f.counts[s.Key()]
+	return ok
+}
+
+// TotalItemsets returns the number of frequent itemsets of all sizes.
+func (f *Frequent) TotalItemsets() int {
+	n := 0
+	for _, level := range f.ByK {
+		n += len(level)
+	}
+	return n
+}
+
+// All returns every frequent itemset in canonical order.
+func (f *Frequent) All() []ItemsetCount {
+	var out []ItemsetCount
+	for _, level := range f.ByK {
+		out = append(out, level...)
+	}
+	return out
+}
+
+// ErrEmptySource is returned when the source has no transactions.
+var ErrEmptySource = errors.New("apriori: source has no transactions")
+
+// Mine runs the level-wise algorithm over src and returns all frequent
+// itemsets under cfg.
+func Mine(src Source, cfg Config) (*Frequent, error) {
+	n := src.Len()
+	if n == 0 {
+		return nil, ErrEmptySource
+	}
+	minCount, err := cfg.minCount(n)
+	if err != nil {
+		return nil, err
+	}
+	res := &Frequent{
+		N:        n,
+		MinCount: minCount,
+		ByK:      [][]ItemsetCount{nil},
+		counts:   make(map[string]int),
+	}
+
+	// Level 1: one pass with a plain counter map.
+	c1 := make(map[itemset.Item]int)
+	src.ForEach(func(tx itemset.Set) {
+		for _, x := range tx {
+			c1[x]++
+		}
+	})
+	var l1 []ItemsetCount
+	for x, cnt := range c1 {
+		if cnt >= minCount {
+			l1 = append(l1, ItemsetCount{Set: itemset.Set{x}, Count: cnt})
+		}
+	}
+	sort.Slice(l1, func(i, j int) bool { return l1[i].Set.Compare(l1[j].Set) < 0 })
+	res.ByK = append(res.ByK, l1)
+	for _, ic := range l1 {
+		res.counts[ic.Set.Key()] = ic.Count
+	}
+
+	prev := l1
+	for k := 2; len(prev) > 0 && (cfg.MaxK == 0 || k <= cfg.MaxK); k++ {
+		cands := GenerateCandidates(prev)
+		if len(cands) == 0 {
+			break
+		}
+		var counts []int
+		if cfg.NaiveCounting {
+			counts = CountSetsNaive(src, cands)
+		} else {
+			tree, err := NewHashTree(cands, k, cfg.Fanout, cfg.LeafSize)
+			if err != nil {
+				return nil, err
+			}
+			src.ForEach(tree.Add)
+			counts = tree.Counts()
+		}
+		var level []ItemsetCount
+		for i, c := range cands {
+			if counts[i] >= minCount {
+				level = append(level, ItemsetCount{Set: c, Count: counts[i]})
+				res.counts[c.Key()] = counts[i]
+			}
+		}
+		res.ByK = append(res.ByK, level)
+		prev = level
+	}
+	return res, nil
+}
+
+// GenerateCandidates produces the (k+1)-candidates from the sorted
+// frequent k-level: prefix join followed by the Apriori prune (every
+// k-subset of a candidate must itself be frequent). The input must be
+// in canonical order, as produced by Mine.
+func GenerateCandidates(level []ItemsetCount) []itemset.Set {
+	if len(level) < 2 {
+		return nil
+	}
+	freq := make(map[string]bool, len(level))
+	for _, ic := range level {
+		freq[ic.Set.Key()] = true
+	}
+	var out []itemset.Set
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			cand, ok := level[i].Set.JoinPrefix(level[j].Set)
+			if !ok {
+				// The level is sorted, so once the prefix diverges no
+				// later j can share it either.
+				break
+			}
+			if aprioriPruned(cand, freq) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// aprioriPruned reports whether cand has a (k-1)-subset that is not
+// frequent. The two subsets obtained by dropping one of the last two
+// items are the join parents and are frequent by construction, but
+// checking them costs little and keeps the function self-contained.
+func aprioriPruned(cand itemset.Set, freq map[string]bool) bool {
+	pruned := false
+	cand.EachSubsetK1(func(sub itemset.Set) bool {
+		if !freq[sub.Key()] {
+			pruned = true
+			return false
+		}
+		return true
+	})
+	return pruned
+}

@@ -1,0 +1,102 @@
+// Package core implements temporal association rule mining: the three
+// restricted discovery tasks of Chen & Petrounias (ICDE 2000).
+//
+// A temporal association rule is a pair (AR, TF): an association rule
+// AR : X ⇒ Y together with a temporal feature TF describing *when* the
+// rule holds. Because the joint search space (rules × temporal
+// features) is intractable, the system offers three restricted tasks,
+// each a function in this package:
+//
+//   - MineValidPeriods (Task I): find the maximal time intervals during
+//     which each rule holds.
+//   - MineCycles / MineCalendarPeriodicities (Task II): find the
+//     periodicities — arithmetic cycles over the granule axis, or
+//     calendar classes such as day-of-week — that each rule obeys.
+//   - MineDuring (Task III): given a temporal feature expressed in the
+//     calendar algebra, find the rules that hold during it.
+//
+// All three share one counting substrate, the HoldTable: a level-wise
+// Apriori pass that counts every candidate itemset in every time
+// granule of the dataset in a single scan per level.
+package core
+
+import (
+	"fmt"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// Config carries the thresholds shared by every temporal mining task.
+type Config struct {
+	// Granularity discretises the time axis (e.g. Day: the rule must
+	// hold day by day).
+	Granularity timegran.Granularity
+	// MinSupport is the per-granule minimum support fraction: inside a
+	// granule g a rule needs count ≥ ceil(MinSupport · |g|).
+	MinSupport float64
+	// MinConfidence is the per-granule minimum confidence.
+	MinConfidence float64
+	// MinFreq is the frequency threshold in (0,1]: the fraction of a
+	// temporal feature's (active) granules in which the rule must hold.
+	// 1 demands the rule hold in every granule of the feature.
+	MinFreq float64
+	// MaxK bounds itemset size (0 = unbounded).
+	MaxK int
+	// MinGranuleTx marks granules with fewer transactions as inactive:
+	// they are skipped entirely and count neither for nor against a
+	// rule. Zero defaults to 1 (empty granules are inactive).
+	MinGranuleTx int
+	// Workers parallelises the per-granule counting pass across
+	// contiguous granule blocks (granules are independent partitions,
+	// so the result is identical). 0 or 1 counts sequentially.
+	Workers int
+}
+
+// normalise validates and fills defaults.
+func (c Config) normalise() (Config, error) {
+	if !c.Granularity.Valid() {
+		return c, fmt.Errorf("core: invalid granularity %d", int(c.Granularity))
+	}
+	if c.MinSupport <= 0 || c.MinSupport > 1 {
+		return c, fmt.Errorf("core: MinSupport %v outside (0,1]", c.MinSupport)
+	}
+	if c.MinConfidence < 0 || c.MinConfidence > 1 {
+		return c, fmt.Errorf("core: MinConfidence %v outside [0,1]", c.MinConfidence)
+	}
+	if c.MinFreq <= 0 || c.MinFreq > 1 {
+		return c, fmt.Errorf("core: MinFreq %v outside (0,1]", c.MinFreq)
+	}
+	if c.MinGranuleTx < 0 {
+		return c, fmt.Errorf("core: MinGranuleTx %d negative", c.MinGranuleTx)
+	}
+	if c.MinGranuleTx == 0 {
+		c.MinGranuleTx = 1
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("core: Workers %d negative", c.Workers)
+	}
+	return c, nil
+}
+
+// TemporalRule pairs an association rule with a discovered temporal
+// feature. Support and Confidence inside Rule are aggregates over the
+// granules the feature covers (within the mined span).
+type TemporalRule struct {
+	Rule    apriori.Rule
+	Feature timegran.Pattern
+	// Granularity the feature is expressed at.
+	Granularity timegran.Granularity
+	// Freq is the fraction of the feature's active granules in which
+	// the rule held (≥ the configured MinFreq).
+	Freq float64
+	// HoldGranules is the number of active granules in which the rule
+	// held; FeatureGranules the number of active granules the feature
+	// covers within the mined span.
+	HoldGranules, FeatureGranules int
+}
+
+// String renders "rule @ feature (freq 0.93)".
+func (t TemporalRule) String() string {
+	return fmt.Sprintf("%v @ %v (freq %.2f)", t.Rule, t.Feature, t.Freq)
+}

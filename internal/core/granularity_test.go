@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"reflect"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// TestWeekGranularityMining mines the same fixture at Week granularity:
+// the seasonal week (days 7..13 = exactly the second Monday-aligned
+// week) becomes a single-granule feature.
+func TestWeekGranularityMining(t *testing.T) {
+	tbl := buildFixture(t)
+	cfg := fixtureConfig()
+	cfg.Granularity = timegran.Week
+	h, err := BuildHoldTable(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NGranules() != 4 {
+		t.Fatalf("weeks = %d, want 4", h.NGranules())
+	}
+	for gi, n := range h.TxCounts {
+		if n != 70 {
+			t.Errorf("week %d has %d transactions, want 70", gi, n)
+		}
+	}
+	hold, ok := h.Holds(RuleCandidate{
+		Ante: itemset.New(bbq), Cons: itemset.New(charcoal),
+		Full: itemset.New(bbq, charcoal),
+	})
+	if !ok {
+		t.Fatal("seasonal rule not counted at week granularity")
+	}
+	// Week 1 (days 7..13) is fully seasonal: 70/70 transactions.
+	want := []bool{false, true, false, false}
+	if !reflect.DeepEqual(hold, want) {
+		t.Errorf("weekly hold = %v, want %v", hold, want)
+	}
+
+	// The weekend rule holds 18/70 ≈ 26% per week: below 50% support,
+	// invisible at week granularity — granularity choice matters.
+	if _, ok := h.Holds(RuleCandidate{
+		Ante: itemset.New(choc), Cons: itemset.New(wine),
+		Full: itemset.New(choc, wine),
+	}); ok {
+		hold, _ := h.Holds(RuleCandidate{
+			Ante: itemset.New(choc), Cons: itemset.New(wine),
+			Full: itemset.New(choc, wine),
+		})
+		for gi, hd := range hold {
+			if hd {
+				t.Errorf("weekend rule holds in week %d at week granularity", gi)
+			}
+		}
+	}
+}
+
+// TestHourGranularityMining plants an evening pattern and mines hours.
+func TestHourGranularityMining(t *testing.T) {
+	tbl, _ := tdb.NewTxTable("hours")
+	start := time.Date(2024, 3, 4, 0, 0, 0, 0, time.UTC)
+	for day := 0; day < 7; day++ {
+		for hour := 0; hour < 24; hour++ {
+			at := start.AddDate(0, 0, day).Add(time.Duration(hour) * time.Hour)
+			evening := hour >= 18 && hour <= 20
+			for i := 0; i < 6; i++ {
+				items := []itemset.Item{1}
+				if evening && i < 5 {
+					items = append(items, 2, 3)
+				}
+				tbl.Append(at.Add(time.Duration(i)*time.Minute), itemset.New(items...))
+			}
+		}
+	}
+	cfg := Config{Granularity: timegran.Hour, MinSupport: 0.5, MinConfidence: 0.7, MinFreq: 1}
+	cals, err := MineCalendarPeriodicitiesFromTable(mustBuild(t, tbl, cfg), CycleConfig{MinReps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range cals {
+		if r.Field == timegran.FieldHour &&
+			r.Rule.Antecedent.Equal(itemset.New(2)) && r.Rule.Consequent.Equal(itemset.New(3)) {
+			found = true
+			cal := r.Feature.(timegran.Calendar)
+			if len(cal.Ranges) != 1 || cal.Ranges[0] != (timegran.FieldRange{Lo: 18, Hi: 20}) {
+				t.Errorf("evening ranges = %v", cal.Ranges)
+			}
+		}
+	}
+	if !found {
+		t.Error("evening hour class not discovered at hour granularity")
+	}
+}
+
+func mustBuild(t *testing.T, tbl *tdb.TxTable, cfg Config) *HoldTable {
+	t.Helper()
+	h, err := BuildHoldTable(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestSharedHoldTableAcrossTasks runs all tasks from one counting pass
+// and cross-checks them against the one-call APIs.
+func TestSharedHoldTableAcrossTasks(t *testing.T) {
+	tbl := buildFixture(t)
+	cfg := fixtureConfig()
+	h := mustBuild(t, tbl, cfg)
+
+	p1, err := MineValidPeriodsFromTable(h, PeriodConfig{MinLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := MineValidPeriods(tbl, cfg, PeriodConfig{MinLen: 2})
+	if len(p1) != len(p2) {
+		t.Errorf("shared vs one-call periods: %d vs %d", len(p1), len(p2))
+	}
+
+	c1, err := MineCyclesFromTable(h, CycleConfig{MaxLen: 10, MinReps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := MineCycles(tbl, cfg, CycleConfig{MaxLen: 10, MinReps: 2})
+	if len(c1) != len(c2) {
+		t.Errorf("shared vs one-call cycles: %d vs %d", len(c1), len(c2))
+	}
+
+	weekend, _ := timegran.ParsePattern("weekday in (sat, sun)")
+	d1, err := MineDuringFromTable(h, weekend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := MineDuring(tbl, cfg, weekend)
+	if len(d1) != len(d2) {
+		t.Errorf("shared vs one-call during: %d vs %d", len(d1), len(d2))
+	}
+
+	cal1, err := MineCalendarPeriodicitiesFromTable(h, CycleConfig{MinReps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal2, _ := MineCalendarPeriodicities(tbl, cfg, CycleConfig{MinReps: 2})
+	if len(cal1) != len(cal2) {
+		t.Errorf("shared vs one-call calendars: %d vs %d", len(cal1), len(cal2))
+	}
+}
+
+// TestQuickAggStatsMatchesBruteForce verifies the aggregate
+// support/confidence computation against direct counting over the
+// selected granules.
+func TestQuickAggStatsMatchesBruteForce(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 20,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	law := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tbl := randomTemporalTable(r)
+		mcfg := Config{Granularity: timegran.Day, MinSupport: 0.3, MinConfidence: 0.5, MinFreq: 1}
+		h, err := BuildHoldTable(tbl, mcfg)
+		if err != nil {
+			return false
+		}
+		// Pick an arbitrary keep mask: even granule offsets.
+		keep := func(gi int) bool { return gi%2 == 0 }
+		okAll := true
+		h.EachRuleCandidate(func(rc RuleCandidate) bool {
+			rule, ok := h.AggStats(rc, keep)
+			if !ok {
+				return true
+			}
+			// Brute force over the raw transactions.
+			var nTx, nFull, nAnte int
+			tbl.Each(func(tx tdb.Tx) bool {
+				g := timegran.GranuleOf(tx.At, timegran.Day)
+				gi := int(g - h.Span.Lo)
+				if gi < 0 || gi >= h.NGranules() || !h.Active[gi] || !keep(gi) {
+					return true
+				}
+				nTx++
+				if tx.Items.ContainsAll(rc.Full) {
+					nFull++
+				}
+				if tx.Items.ContainsAll(rc.Ante) {
+					nAnte++
+				}
+				return true
+			})
+			if nTx == 0 || nAnte == 0 {
+				return true
+			}
+			if rule.Count != nFull {
+				okAll = false
+				return false
+			}
+			if diff := rule.Support - float64(nFull)/float64(nTx); diff > 1e-9 || diff < -1e-9 {
+				okAll = false
+				return false
+			}
+			if diff := rule.Confidence - float64(nFull)/float64(nAnte); diff > 1e-9 || diff < -1e-9 {
+				okAll = false
+				return false
+			}
+			return true
+		})
+		return okAll
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinGranuleTx verifies sparse granules are neutral everywhere.
+func TestMinGranuleTx(t *testing.T) {
+	tbl, _ := tdb.NewTxTable("sparse")
+	at := time.Date(2024, 1, 1, 9, 0, 0, 0, time.UTC)
+	for d := 0; d < 10; d++ {
+		n := 6
+		if d == 4 {
+			n = 2 // sparse day
+		}
+		for i := 0; i < n; i++ {
+			tbl.Append(at.AddDate(0, 0, d), itemset.New(1, 2))
+		}
+	}
+	cfg := Config{Granularity: timegran.Day, MinSupport: 0.5, MinConfidence: 0.5, MinFreq: 1, MinGranuleTx: 5}
+	h := mustBuild(t, tbl, cfg)
+	if h.NActive != 9 {
+		t.Fatalf("active = %d, want 9", h.NActive)
+	}
+	if h.Active[4] {
+		t.Error("sparse day marked active")
+	}
+	// The rule still gets one unbroken 10-day period (day 4 neutral).
+	rules, err := MineValidPeriodsFromTable(h, PeriodConfig{MinLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, r := range rules {
+		if r.Rule.Antecedent.Equal(itemset.New(1)) {
+			count++
+			if r.Interval.Len() != 10 {
+				t.Errorf("period spans %d days, want 10 (sparse day bridged)", r.Interval.Len())
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("periods for {1}=>{2}: %d", count)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// GranuleStat is one granule of a rule's support history.
+type GranuleStat struct {
+	Granule    timegran.Granule
+	TxCount    int
+	Count      int     // transactions containing ante ∪ cons
+	Support    float64 // Count / TxCount
+	Confidence float64 // Count / count(ante)
+	Active     bool
+	Holds      bool // support ≥ per-granule threshold and confidence ≥ MinConfidence
+}
+
+// History returns the per-granule support/confidence series of the
+// rule, for result analysis in the IQMI loop ("why does this rule hold
+// only in summer?"). ok is false when the rule's itemset is not
+// granule-frequent anywhere — then no counts were retained.
+func (h *HoldTable) History(rc RuleCandidate) ([]GranuleStat, bool) {
+	fullCounts := h.counts[rc.Full.Key()]
+	if fullCounts == nil {
+		return nil, false
+	}
+	anteCounts := h.counts[rc.Ante.Key()]
+	hold, _ := h.Holds(rc)
+	out := make([]GranuleStat, h.NGranules())
+	for gi := range out {
+		s := GranuleStat{
+			Granule: h.Span.Lo + int64(gi),
+			TxCount: h.TxCounts[gi],
+			Count:   int(fullCounts[gi]),
+			Active:  h.Active[gi],
+			Holds:   hold[gi],
+		}
+		if s.TxCount > 0 {
+			s.Support = float64(s.Count) / float64(s.TxCount)
+		}
+		if anteCounts != nil && anteCounts[gi] > 0 {
+			s.Confidence = float64(s.Count) / float64(anteCounts[gi])
+		}
+		out[gi] = s
+	}
+	return out, true
+}
+
+// RuleHistory is the one-call form: it builds a hold table (counting
+// only as deep as the rule needs) and returns the rule's history.
+func RuleHistory(tbl *tdb.TxTable, cfg Config, ante, cons itemset.Set) ([]GranuleStat, error) {
+	if ante.Len() == 0 || cons.Len() == 0 {
+		return nil, fmt.Errorf("core: rule history needs non-empty antecedent and consequent")
+	}
+	if ante.Intersect(cons).Len() != 0 {
+		return nil, fmt.Errorf("core: antecedent and consequent overlap")
+	}
+	// Count exactly as deep as the rule needs: deeper wastes work,
+	// shallower would never count the rule's own itemset.
+	full := ante.Union(cons)
+	cfg.MaxK = full.Len()
+	h, err := BuildHoldTable(tbl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats, ok := h.History(RuleCandidate{Ante: ante, Cons: cons, Full: full})
+	if !ok {
+		return nil, fmt.Errorf("core: rule %v => %v is not frequent in any granule at support %g",
+			ante, cons, cfg.MinSupport)
+	}
+	return stats, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+)
+
+func TestRuleHistoryFixture(t *testing.T) {
+	tbl := buildFixture(t)
+	stats, err := RuleHistory(tbl, fixtureConfig(), itemset.New(bbq), itemset.New(charcoal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 28 {
+		t.Fatalf("history length = %d", len(stats))
+	}
+	for d, s := range stats {
+		inSeason := d >= 7 && d <= 13
+		if s.Holds != inSeason {
+			t.Errorf("day %d holds = %v, want %v", d, s.Holds, inSeason)
+		}
+		if s.TxCount != 10 || !s.Active {
+			t.Errorf("day %d txcount=%d active=%v", d, s.TxCount, s.Active)
+		}
+		if inSeason {
+			if s.Count != 10 || s.Support != 1 || s.Confidence != 1 {
+				t.Errorf("day %d stats = %+v", d, s)
+			}
+		} else if s.Count != 0 {
+			t.Errorf("day %d off-season count = %d", d, s.Count)
+		}
+		if s.Granule != dayGranule(d) {
+			t.Errorf("day %d granule = %d, want %d", d, s.Granule, dayGranule(d))
+		}
+	}
+}
+
+func TestRuleHistoryConfidenceBelowThreshold(t *testing.T) {
+	tbl := buildFixture(t)
+	cfg := fixtureConfig()
+	cfg.MinConfidence = 0.9 // the daily rule has confidence 0.8: never holds
+	stats, err := RuleHistory(tbl, cfg, itemset.New(bread), itemset.New(milk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, s := range stats {
+		if s.Holds {
+			t.Errorf("day %d holds despite confidence below threshold", d)
+		}
+		if s.Confidence < 0.79 || s.Confidence > 0.81 {
+			t.Errorf("day %d confidence = %v", d, s.Confidence)
+		}
+	}
+}
+
+func TestRuleHistoryErrors(t *testing.T) {
+	tbl := buildFixture(t)
+	cfg := fixtureConfig()
+	if _, err := RuleHistory(tbl, cfg, nil, itemset.New(milk)); err == nil {
+		t.Error("empty antecedent accepted")
+	}
+	if _, err := RuleHistory(tbl, cfg, itemset.New(bread), nil); err == nil {
+		t.Error("empty consequent accepted")
+	}
+	if _, err := RuleHistory(tbl, cfg, itemset.New(bread), itemset.New(bread)); err == nil {
+		t.Error("overlapping rule accepted")
+	}
+	if _, err := RuleHistory(tbl, cfg, itemset.New(97), itemset.New(98)); err == nil {
+		t.Error("never-frequent rule accepted")
+	}
+	// MaxK smaller than the rule is widened transparently.
+	cfg.MaxK = 1
+	if _, err := RuleHistory(tbl, cfg, itemset.New(bread), itemset.New(milk)); err != nil {
+		t.Errorf("MaxK widening failed: %v", err)
+	}
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// HoldTable is the shared counting substrate of the temporal miners:
+// for every *granule-frequent* itemset (frequent in at least one active
+// granule) it stores the support count in every granule of the span.
+// From those vectors every task derives its per-granule "the rule
+// holds here" sequences without rescanning the data.
+type HoldTable struct {
+	Cfg  Config
+	Span timegran.Interval
+
+	// Per-granule statistics, indexed by granule - Span.Lo.
+	TxCounts  []int  // transactions in the granule
+	MinCounts []int  // support threshold ceil(MinSupport · TxCounts)
+	Active    []bool // TxCounts ≥ MinGranuleTx
+	NActive   int
+
+	// ByK[k] lists the granule-frequent k-itemsets in canonical order.
+	ByK [][]itemset.Set
+
+	counts map[string][]int32
+}
+
+// NGranules returns the number of granules in the span.
+func (h *HoldTable) NGranules() int { return int(h.Span.Len()) }
+
+// Counts returns the per-granule count vector of s, or nil when s is
+// not granule-frequent. The slice is shared: callers must not modify.
+func (h *HoldTable) Counts(s itemset.Set) []int32 { return h.counts[s.Key()] }
+
+// FrequentAt reports whether s is frequent in the (active) granule at
+// offset gi.
+func (h *HoldTable) FrequentAt(s itemset.Set, gi int) bool {
+	v := h.counts[s.Key()]
+	return v != nil && h.Active[gi] && int(v[gi]) >= h.MinCounts[gi]
+}
+
+// TotalItemsets returns the number of granule-frequent itemsets.
+func (h *HoldTable) TotalItemsets() int {
+	n := 0
+	for _, level := range h.ByK {
+		n += len(level)
+	}
+	return n
+}
+
+// ceilCount is ceil(frac · n), at least 1.
+func ceilCount(frac float64, n int) int {
+	c := int(frac * float64(n))
+	if float64(c) < frac*float64(n) {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// BuildHoldTable runs the shared level-wise pass over tbl. Each level
+// makes one scan of the span, counting all candidates per granule with
+// a single hash tree that is flushed at granule boundaries (the data is
+// time-ordered, so each granule is a contiguous run).
+func BuildHoldTable(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
+	cfg, err := cfg.normalise()
+	if err != nil {
+		return nil, err
+	}
+	span, ok := tbl.Span(cfg.Granularity)
+	if !ok {
+		return nil, fmt.Errorf("core: transaction table %q is empty", tbl.Name())
+	}
+	n := int(span.Len())
+	h := &HoldTable{
+		Cfg:       cfg,
+		Span:      span,
+		TxCounts:  tbl.GranuleCounts(cfg.Granularity, span),
+		MinCounts: make([]int, n),
+		Active:    make([]bool, n),
+		ByK:       [][]itemset.Set{nil},
+		counts:    make(map[string][]int32),
+	}
+	for i, txc := range h.TxCounts {
+		if txc >= cfg.MinGranuleTx {
+			h.Active[i] = true
+			h.NActive++
+			h.MinCounts[i] = ceilCount(cfg.MinSupport, txc)
+		}
+	}
+	if h.NActive == 0 {
+		return nil, fmt.Errorf("core: no granule has at least %d transactions", cfg.MinGranuleTx)
+	}
+
+	// Level 1: plain per-item counters.
+	c1 := make(map[itemset.Item][]int32)
+	h.eachActiveTx(tbl, func(gi int, tx itemset.Set) {
+		for _, x := range tx {
+			v := c1[x]
+			if v == nil {
+				v = make([]int32, n)
+				c1[x] = v
+			}
+			v[gi]++
+		}
+	})
+	var l1 []itemset.Set
+	for x, v := range c1 {
+		if h.frequentSomewhere(v) {
+			s := itemset.Set{x}
+			l1 = append(l1, s)
+			h.counts[s.Key()] = v
+		}
+	}
+	itemset.SortSets(l1)
+	h.ByK = append(h.ByK, l1)
+
+	prev := l1
+	for k := 2; len(prev) > 1 && (cfg.MaxK == 0 || k <= cfg.MaxK); k++ {
+		cands := generateFromSets(prev)
+		if len(cands) == 0 {
+			break
+		}
+		var perGranule [][]int32
+		if cfg.Workers > 1 {
+			perGranule, err = h.countPerGranuleParallel(tbl, cands, k, cfg.Workers)
+		} else {
+			perGranule, err = h.countPerGranule(tbl, cands, k)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var level []itemset.Set
+		for i, c := range cands {
+			if h.frequentSomewhere(perGranule[i]) {
+				level = append(level, c)
+				h.counts[c.Key()] = perGranule[i]
+			}
+		}
+		h.ByK = append(h.ByK, level)
+		prev = level
+	}
+	return h, nil
+}
+
+// frequentSomewhere reports whether the count vector clears the
+// threshold in at least one active granule.
+func (h *HoldTable) frequentSomewhere(v []int32) bool {
+	for gi, c := range v {
+		if h.Active[gi] && int(c) >= h.MinCounts[gi] {
+			return true
+		}
+	}
+	return false
+}
+
+// eachActiveTx scans the span once, handing each transaction of each
+// active granule to fn with the granule offset.
+func (h *HoldTable) eachActiveTx(tbl *tdb.TxTable, fn func(gi int, tx itemset.Set)) {
+	tbl.Each(func(tx tdb.Tx) bool {
+		g := timegran.GranuleOf(tx.At, h.Cfg.Granularity)
+		gi := int(g - h.Span.Lo)
+		if gi >= 0 && gi < len(h.Active) && h.Active[gi] {
+			fn(gi, tx.Items)
+		}
+		return true
+	})
+}
+
+// countPerGranule counts every candidate in every active granule in a
+// single scan. The transactions arrive time-ordered, so the hash tree
+// is flushed into the per-granule columns whenever the granule changes.
+func (h *HoldTable) countPerGranule(tbl *tdb.TxTable, cands []itemset.Set, k int) ([][]int32, error) {
+	out := make([][]int32, len(cands))
+	for i := range out {
+		out[i] = make([]int32, h.NGranules())
+	}
+	tree, err := apriori.NewHashTree(cands, k, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	current := -1
+	flush := func() {
+		if current < 0 {
+			return
+		}
+		for i, c := range tree.Counts() {
+			if c != 0 {
+				out[i][current] = int32(c)
+			}
+		}
+		tree.Reset()
+	}
+	h.eachActiveTx(tbl, func(gi int, tx itemset.Set) {
+		if gi != current {
+			flush()
+			current = gi
+		}
+		tree.Add(tx)
+	})
+	flush()
+	return out, nil
+}
+
+// countPerGranuleParallel splits the span into contiguous granule
+// blocks and counts each block with its own hash tree in its own
+// goroutine. Granules are independent partitions of the data, so the
+// result is bit-identical to the sequential pass; workers write
+// disjoint columns of the output.
+func (h *HoldTable) countPerGranuleParallel(tbl *tdb.TxTable, cands []itemset.Set, k, workers int) ([][]int32, error) {
+	n := h.NGranules()
+	if workers > n {
+		workers = n
+	}
+	out := make([][]int32, len(cands))
+	for i := range out {
+		out[i] = make([]int32, n)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			tree, err := apriori.NewHashTree(cands, k, 0, 0)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for gi := lo; gi < hi; gi++ {
+				if !h.Active[gi] {
+					continue
+				}
+				src := tbl.GranuleSource(h.Cfg.Granularity, h.Span.Lo+int64(gi))
+				src.ForEach(tree.Add)
+				for i, c := range tree.Counts() {
+					if c != 0 {
+						out[i][gi] = int32(c)
+					}
+				}
+				tree.Reset()
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// generateFromSets is the Apriori join+prune over a sorted level of
+// plain sets.
+func generateFromSets(level []itemset.Set) []itemset.Set {
+	ics := make([]apriori.ItemsetCount, len(level))
+	for i, s := range level {
+		ics[i] = apriori.ItemsetCount{Set: s}
+	}
+	return apriori.GenerateCandidates(ics)
+}
+
+// RuleCandidate is one potential temporal rule considered by the
+// miners: antecedent ⇒ consequent with the full itemset cached.
+type RuleCandidate struct {
+	Ante, Cons, Full itemset.Set
+}
+
+// Holds returns the per-granule hold sequence of the rule: hold[gi] is
+// true when, inside granule gi, supp(full) ≥ threshold and
+// supp(full)/supp(ante) ≥ MinConfidence. Inactive granules are false;
+// use the Active mask to tell "fails" from "no data". ok is false when
+// the full itemset is not granule-frequent (the rule can hold nowhere).
+func (h *HoldTable) Holds(rc RuleCandidate) (hold []bool, ok bool) {
+	fullCounts := h.counts[rc.Full.Key()]
+	if fullCounts == nil {
+		return nil, false
+	}
+	anteCounts := h.counts[rc.Ante.Key()]
+	hold = make([]bool, h.NGranules())
+	for gi := range hold {
+		if !h.Active[gi] || int(fullCounts[gi]) < h.MinCounts[gi] {
+			continue
+		}
+		if anteCounts == nil || anteCounts[gi] == 0 {
+			continue // defensive; ante ⊆ full is frequent wherever full is
+		}
+		conf := float64(fullCounts[gi]) / float64(anteCounts[gi])
+		if conf+1e-12 >= h.Cfg.MinConfidence {
+			hold[gi] = true
+		}
+	}
+	return hold, true
+}
+
+// EachRuleCandidate enumerates every rule X ⇒ {y} derivable from the
+// granule-frequent itemsets (single-item consequents, following the
+// companion papers' presentation convention), in canonical order.
+func (h *HoldTable) EachRuleCandidate(fn func(rc RuleCandidate) bool) {
+	for k := 2; k < len(h.ByK); k++ {
+		for _, full := range h.ByK[k] {
+			for _, y := range full {
+				rc := RuleCandidate{
+					Ante: full.WithoutItem(y),
+					Cons: itemset.Set{y},
+					Full: full,
+				}
+				if !fn(rc) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// AggStats aggregates a rule's counts over the granules selected by
+// keep (indexed by granule offset): total transactions, support and
+// confidence over that sub-database.
+func (h *HoldTable) AggStats(rc RuleCandidate, keep func(gi int) bool) (rule apriori.Rule, ok bool) {
+	fullCounts := h.counts[rc.Full.Key()]
+	anteCounts := h.counts[rc.Ante.Key()]
+	consCounts := h.counts[rc.Cons.Key()]
+	if fullCounts == nil {
+		return apriori.Rule{}, false
+	}
+	var nTx, nFull, nAnte, nCons int64
+	for gi := 0; gi < h.NGranules(); gi++ {
+		if !h.Active[gi] || !keep(gi) {
+			continue
+		}
+		nTx += int64(h.TxCounts[gi])
+		nFull += int64(fullCounts[gi])
+		if anteCounts != nil {
+			nAnte += int64(anteCounts[gi])
+		}
+		if consCounts != nil {
+			nCons += int64(consCounts[gi])
+		}
+	}
+	if nTx == 0 || nAnte == 0 {
+		return apriori.Rule{}, false
+	}
+	conf := float64(nFull) / float64(nAnte)
+	supp := float64(nFull) / float64(nTx)
+	lift := 0.0
+	if nCons > 0 {
+		lift = conf / (float64(nCons) / float64(nTx))
+	}
+	return apriori.Rule{
+		Antecedent: rc.Ante,
+		Consequent: rc.Cons,
+		Count:      int(nFull),
+		Support:    supp,
+		Confidence: conf,
+		Lift:       lift,
+	}, true
+}
+
+// SortTemporalRules orders results canonically: by rule, then by the
+// feature's textual form.
+func SortTemporalRules(rules []TemporalRule) {
+	sort.Slice(rules, func(i, j int) bool {
+		if c := rules[i].Rule.Compare(rules[j].Rule); c != 0 {
+			return c < 0
+		}
+		return rules[i].Feature.String() < rules[j].Feature.String()
+	})
+}

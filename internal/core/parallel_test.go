@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// holdTablesEqual compares every retained count vector.
+func holdTablesEqual(a, b *HoldTable) bool {
+	if a.NGranules() != b.NGranules() || a.NActive != b.NActive {
+		return false
+	}
+	if len(a.ByK) != len(b.ByK) {
+		return false
+	}
+	for k := 1; k < len(a.ByK); k++ {
+		if len(a.ByK[k]) != len(b.ByK[k]) {
+			return false
+		}
+		for i, s := range a.ByK[k] {
+			if !s.Equal(b.ByK[k][i]) {
+				return false
+			}
+			if !reflect.DeepEqual(a.Counts(s), b.Counts(s)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestParallelBuildMatchesSequentialFixture(t *testing.T) {
+	tbl := buildFixture(t)
+	seqCfg := fixtureConfig()
+	seq, err := BuildHoldTable(tbl, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 100} {
+		parCfg := fixtureConfig()
+		parCfg.Workers = workers
+		par, err := BuildHoldTable(tbl, parCfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !holdTablesEqual(seq, par) {
+			t.Errorf("workers=%d: parallel build differs from sequential", workers)
+		}
+	}
+}
+
+func TestQuickParallelBuildEquivalent(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 15,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	law := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tbl := randomTemporalTable(r)
+		mcfg := Config{
+			Granularity:   timegran.Day,
+			MinSupport:    0.25,
+			MinConfidence: 0.5,
+			MinFreq:       1,
+		}
+		seq, err := BuildHoldTable(tbl, mcfg)
+		if err != nil {
+			return false
+		}
+		mcfg.Workers = 1 + r.Intn(7)
+		par, err := BuildHoldTable(tbl, mcfg)
+		if err != nil {
+			return false
+		}
+		return holdTablesEqual(seq, par)
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkersValidation(t *testing.T) {
+	tbl := buildFixture(t)
+	cfg := fixtureConfig()
+	cfg.Workers = -1
+	if _, err := BuildHoldTable(tbl, cfg); err == nil {
+		t.Error("negative Workers accepted")
+	}
+}
+
+func TestParallelMiningEndToEnd(t *testing.T) {
+	tbl := buildFixture(t)
+	cfg := fixtureConfig()
+	cfg.Workers = 4
+	rules, err := MineValidPeriods(tbl, cfg, PeriodConfig{MinLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgSeq := fixtureConfig()
+	seqRules, err := MineValidPeriods(tbl, cfgSeq, PeriodConfig{MinLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != len(seqRules) {
+		t.Fatalf("parallel found %d periods, sequential %d", len(rules), len(seqRules))
+	}
+	for i := range rules {
+		if rules[i].Interval != seqRules[i].Interval || !rules[i].Rule.Antecedent.Equal(seqRules[i].Rule.Antecedent) {
+			t.Errorf("period %d differs: %+v vs %+v", i, rules[i], seqRules[i])
+		}
+	}
+}

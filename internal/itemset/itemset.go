@@ -1,0 +1,322 @@
+// Package itemset provides the canonical itemset representation shared
+// by every miner in the repository.
+//
+// An itemset is a strictly increasing slice of item identifiers. Keeping
+// the representation sorted and duplicate-free makes subset tests,
+// prefix joins (the heart of Apriori candidate generation) and map keys
+// cheap, which is where association-rule miners spend almost all of
+// their time.
+package itemset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Item identifies a single item. Identifiers are dense small integers
+// assigned by a Dict; 32 bits is the conventional size used by the
+// Quest benchmark generators and keeps per-candidate memory small.
+type Item uint32
+
+// Set is a sorted, duplicate-free slice of items. The zero value is the
+// empty itemset and is ready to use. Sets are treated as immutable by
+// every function in this package: operations return fresh slices and
+// never alias their inputs unless documented otherwise.
+type Set []Item
+
+// New builds a Set from items in any order, dropping duplicates.
+func New(items ...Item) Set {
+	if len(items) == 0 {
+		return nil
+	}
+	s := make(Set, len(items))
+	copy(s, items)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// Compact duplicates in place.
+	w := 1
+	for r := 1; r < len(s); r++ {
+		if s[r] != s[w-1] {
+			s[w] = s[r]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// FromSorted wraps a slice that is already strictly increasing. It
+// panics if the invariant does not hold; callers use it on slices they
+// constructed in order, where a silent repair would hide a bug.
+func FromSorted(items []Item) Set {
+	for i := 1; i < len(items); i++ {
+		if items[i] <= items[i-1] {
+			panic(fmt.Sprintf("itemset: FromSorted input not strictly increasing at %d: %v", i, items))
+		}
+	}
+	return Set(items)
+}
+
+// Valid reports whether s satisfies the sorted, duplicate-free
+// invariant. It is used by property tests and by code that accepts
+// itemsets from untrusted encodings.
+func (s Set) Valid() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of items; a k-itemset has Len k.
+func (s Set) Len() int { return len(s) }
+
+// Empty reports whether the set has no items.
+func (s Set) Empty() bool { return len(s) == 0 }
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	if s == nil {
+		return nil
+	}
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Contains reports whether x is a member of s, by binary search.
+func (s Set) Contains(x Item) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// ContainsAll reports whether sub ⊆ s. Both sides are sorted, so a
+// single merge pass suffices; this is the hot path of naive support
+// counting and of rule post-processing.
+func (s Set) ContainsAll(sub Set) bool {
+	if len(sub) > len(s) {
+		return false
+	}
+	i := 0
+	for _, x := range sub {
+		for i < len(s) && s[i] < x {
+			i++
+		}
+		if i >= len(s) || s[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same items.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders itemsets first by length, then lexicographically.
+// This is the canonical output order used by the miners so that results
+// are deterministic and diffable.
+func (s Set) Compare(t Set) int {
+	if len(s) != len(t) {
+		if len(s) < len(t) {
+			return -1
+		}
+		return 1
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			if s[i] < t[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Union returns s ∪ t as a new Set.
+func (s Set) Union(t Set) Set {
+	out := make(Set, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// Intersect returns s ∩ t as a new Set.
+func (s Set) Intersect(t Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Without returns s \ t as a new Set.
+func (s Set) Without(t Set) Set {
+	var out Set
+	j := 0
+	for _, x := range s {
+		for j < len(t) && t[j] < x {
+			j++
+		}
+		if j < len(t) && t[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// WithoutItem returns s \ {x} as a new Set.
+func (s Set) WithoutItem(x Item) Set {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i >= len(s) || s[i] != x {
+		return s.Clone()
+	}
+	out := make(Set, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	out = append(out, s[i+1:]...)
+	return out
+}
+
+// JoinPrefix implements the Apriori candidate join: if s and t are
+// k-itemsets sharing their first k-1 items and s[k-1] < t[k-1], it
+// returns the (k+1)-itemset s ∪ t and true; otherwise nil and false.
+func (s Set) JoinPrefix(t Set) (Set, bool) {
+	k := len(s)
+	if k == 0 || len(t) != k {
+		return nil, false
+	}
+	for i := 0; i < k-1; i++ {
+		if s[i] != t[i] {
+			return nil, false
+		}
+	}
+	if s[k-1] >= t[k-1] {
+		return nil, false
+	}
+	out := make(Set, k+1)
+	copy(out, s)
+	out[k] = t[k-1]
+	return out, true
+}
+
+// EachSubsetK1 calls fn for each (k-1)-subset of the k-itemset s,
+// reusing a single scratch buffer. fn must not retain the slice. It is
+// the prune step of candidate generation and the antecedent enumerator
+// of rule generation for single-item consequents.
+func (s Set) EachSubsetK1(fn func(sub Set) bool) {
+	if len(s) == 0 {
+		return
+	}
+	scratch := make(Set, len(s)-1)
+	for drop := range s {
+		copy(scratch, s[:drop])
+		copy(scratch[drop:], s[drop+1:])
+		if !fn(scratch) {
+			return
+		}
+	}
+}
+
+// Key returns a compact string key usable in maps. Items are encoded
+// little-endian in 4 bytes each; the encoding is injective, so two sets
+// share a key iff they are equal.
+func (s Set) Key() string {
+	b := make([]byte, 4*len(s))
+	for i, x := range s {
+		b[4*i] = byte(x)
+		b[4*i+1] = byte(x >> 8)
+		b[4*i+2] = byte(x >> 16)
+		b[4*i+3] = byte(x >> 24)
+	}
+	return string(b)
+}
+
+// ParseKey inverts Key. It returns an error if the bytes are not a
+// valid encoding of a sorted set.
+func ParseKey(key string) (Set, error) {
+	if len(key)%4 != 0 {
+		return nil, fmt.Errorf("itemset: key length %d not a multiple of 4", len(key))
+	}
+	s := make(Set, len(key)/4)
+	for i := range s {
+		b := key[4*i : 4*i+4]
+		s[i] = Item(b[0]) | Item(b[1])<<8 | Item(b[2])<<16 | Item(b[3])<<24
+	}
+	if !s.Valid() {
+		return nil, fmt.Errorf("itemset: key decodes to non-canonical set %v", s)
+	}
+	return s, nil
+}
+
+// Hash returns a 64-bit FNV-1a hash of the set, suitable for bucketing.
+func (s Set) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, x := range s {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(x >> shift))
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// String renders the set as "{1, 5, 9}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, x := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SortSets orders a slice of sets by (length, lexicographic), the
+// canonical result order.
+func SortSets(sets []Set) {
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Compare(sets[j]) < 0 })
+}

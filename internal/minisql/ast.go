@@ -1,0 +1,218 @@
+package minisql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tarm-project/tarm/internal/tdb"
+)
+
+// Stmt is any parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Exprs   []SelectExpr
+	From    string
+	Where   Expr // nil when absent
+	GroupBy []Expr
+	Having  Expr // nil when absent; may contain aggregates
+	OrderBy []OrderKey
+	Limit   int // -1 when absent
+}
+
+// SelectExpr is one output column: an expression with an optional
+// alias, or the star.
+type SelectExpr struct {
+	Expr  Expr // nil for *
+	Alias string
+	Star  bool
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// InsertStmt is INSERT INTO t VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]Expr
+}
+
+// CreateTableStmt is CREATE TABLE t (col type, ...).
+type CreateTableStmt struct {
+	Table string
+	Cols  []tdb.Column
+}
+
+// DropTableStmt is DROP TABLE t.
+type DropTableStmt struct{ Table string }
+
+// DeleteStmt is DELETE FROM t [WHERE cond].
+type DeleteStmt struct {
+	Table string
+	Where Expr // nil deletes everything
+}
+
+// SetClause is one "col = expr" of an UPDATE.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// UpdateStmt is UPDATE t SET col = e, ... [WHERE cond].
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where Expr // nil updates everything
+}
+
+// ShowTablesStmt is SHOW TABLES.
+type ShowTablesStmt struct{}
+
+// DescribeStmt is DESCRIBE t.
+type DescribeStmt struct{ Table string }
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*DeleteStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*ShowTablesStmt) stmt()  {}
+func (*DescribeStmt) stmt()    {}
+
+// Expr is a SQL expression tree node.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// ColRef names a column.
+type ColRef struct{ Name string }
+
+// Lit is a literal value.
+type Lit struct{ V tdb.Value }
+
+// Binary applies an operator: arithmetic (+ - * / %), comparison
+// (= <> < <= > >=), logic (and or), or like.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary applies - or not.
+type Unary struct {
+	Op string
+	E  Expr
+}
+
+// Agg is an aggregate call. Expr is nil for COUNT(*).
+type Agg struct {
+	Fn       string // count, sum, avg, min, max
+	E        Expr
+	Distinct bool
+}
+
+// FuncCall is a scalar function application such as MONTH(at) or
+// LOWER(product).
+type FuncCall struct {
+	Name string // lowercase
+	Args []Expr
+}
+
+// IsNull tests nullness (IS NULL / IS NOT NULL).
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// InList is "e IN (a, b, c)".
+type InList struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+}
+
+func (*ColRef) expr()   {}
+func (*Lit) expr()      {}
+func (*Binary) expr()   {}
+func (*Unary) expr()    {}
+func (*Agg) expr()      {}
+func (*FuncCall) expr() {}
+func (*IsNull) expr()   {}
+func (*InList) expr()   {}
+
+func (e *FuncCall) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return strings.ToUpper(e.Name) + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (e *ColRef) String() string { return e.Name }
+func (e *Lit) String() string    { return e.V.String() }
+func (e *Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+func (e *Unary) String() string { return "(" + e.Op + " " + e.E.String() + ")" }
+func (e *Agg) String() string {
+	inner := "*"
+	if e.E != nil {
+		inner = e.E.String()
+	}
+	if e.Distinct {
+		inner = "distinct " + inner
+	}
+	return strings.ToUpper(e.Fn) + "(" + inner + ")"
+}
+func (e *IsNull) String() string {
+	if e.Negate {
+		return "(" + e.E.String() + " IS NOT NULL)"
+	}
+	return "(" + e.E.String() + " IS NULL)"
+}
+func (e *InList) String() string {
+	parts := make([]string, len(e.List))
+	for i, x := range e.List {
+		parts[i] = x.String()
+	}
+	op := " IN ("
+	if e.Negate {
+		op = " NOT IN ("
+	}
+	return "(" + e.E.String() + op + strings.Join(parts, ", ") + "))"
+}
+
+// hasAgg reports whether the expression contains an aggregate call.
+func hasAgg(e Expr) bool {
+	switch v := e.(type) {
+	case *Agg:
+		return true
+	case *Binary:
+		return hasAgg(v.L) || hasAgg(v.R)
+	case *Unary:
+		return hasAgg(v.E)
+	case *FuncCall:
+		for _, a := range v.Args {
+			if hasAgg(a) {
+				return true
+			}
+		}
+	case *IsNull:
+		return hasAgg(v.E)
+	case *InList:
+		if hasAgg(v.E) {
+			return true
+		}
+		for _, x := range v.List {
+			if hasAgg(x) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,333 @@
+package minisql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/tdb"
+)
+
+// env is the row context an expression evaluates in.
+type env struct {
+	schema tdb.Schema
+	row    tdb.Row
+	// aggs maps aggregate nodes (by identity) to their computed value;
+	// only set during the projection phase of grouped queries.
+	aggs map[*Agg]tdb.Value
+}
+
+func (e *env) col(name string) (tdb.Value, error) {
+	i := e.schema.ColIndex(name)
+	if i < 0 {
+		return tdb.Value{}, fmt.Errorf("minisql: unknown column %q", name)
+	}
+	return e.row[i], nil
+}
+
+// eval evaluates an expression against one row.
+func eval(ev *env, e Expr) (tdb.Value, error) {
+	switch v := e.(type) {
+	case *Lit:
+		return v.V, nil
+	case *ColRef:
+		return ev.col(v.Name)
+	case *Unary:
+		return evalUnary(ev, v)
+	case *Binary:
+		return evalBinary(ev, v)
+	case *IsNull:
+		inner, err := eval(ev, v.E)
+		if err != nil {
+			return tdb.Value{}, err
+		}
+		return tdb.Bool(inner.IsNull() != v.Negate), nil
+	case *InList:
+		return evalInList(ev, v)
+	case *FuncCall:
+		return evalFunc(ev, v)
+	case *Agg:
+		if ev.aggs != nil {
+			if val, ok := ev.aggs[v]; ok {
+				return val, nil
+			}
+		}
+		return tdb.Value{}, fmt.Errorf("minisql: aggregate %s outside of SELECT projection", v)
+	default:
+		return tdb.Value{}, fmt.Errorf("minisql: cannot evaluate %T", e)
+	}
+}
+
+func evalUnary(ev *env, u *Unary) (tdb.Value, error) {
+	inner, err := eval(ev, u.E)
+	if err != nil {
+		return tdb.Value{}, err
+	}
+	switch u.Op {
+	case "-":
+		switch inner.K {
+		case tdb.KindInt:
+			return tdb.Int(-inner.AsInt()), nil
+		case tdb.KindFloat:
+			return tdb.Float(-inner.AsFloat()), nil
+		case tdb.KindNull:
+			return tdb.Null(), nil
+		default:
+			return tdb.Value{}, fmt.Errorf("minisql: cannot negate %v", inner.K)
+		}
+	case "not":
+		if inner.IsNull() {
+			return tdb.Null(), nil
+		}
+		if inner.K != tdb.KindBool {
+			return tdb.Value{}, fmt.Errorf("minisql: NOT wants a boolean, got %v", inner.K)
+		}
+		return tdb.Bool(!inner.AsBool()), nil
+	default:
+		return tdb.Value{}, fmt.Errorf("minisql: unknown unary operator %q", u.Op)
+	}
+}
+
+func evalBinary(ev *env, b *Binary) (tdb.Value, error) {
+	// Logic operators short-circuit.
+	if b.Op == "and" || b.Op == "or" {
+		l, err := eval(ev, b.L)
+		if err != nil {
+			return tdb.Value{}, err
+		}
+		lb, lok := boolOf(l)
+		if lok {
+			if b.Op == "and" && !lb {
+				return tdb.Bool(false), nil
+			}
+			if b.Op == "or" && lb {
+				return tdb.Bool(true), nil
+			}
+		}
+		r, err := eval(ev, b.R)
+		if err != nil {
+			return tdb.Value{}, err
+		}
+		rb, rok := boolOf(r)
+		if !lok || !rok {
+			return tdb.Null(), nil
+		}
+		if b.Op == "and" {
+			return tdb.Bool(lb && rb), nil
+		}
+		return tdb.Bool(lb || rb), nil
+	}
+
+	l, err := eval(ev, b.L)
+	if err != nil {
+		return tdb.Value{}, err
+	}
+	r, err := eval(ev, b.R)
+	if err != nil {
+		return tdb.Value{}, err
+	}
+	switch b.Op {
+	case "+", "-", "*", "/", "%":
+		return arith(b.Op, l, r)
+	case "=", "<>", "<", "<=", ">", ">=":
+		return compare(b.Op, l, r)
+	case "like":
+		if l.IsNull() || r.IsNull() {
+			return tdb.Null(), nil
+		}
+		if l.K != tdb.KindString || r.K != tdb.KindString {
+			return tdb.Value{}, fmt.Errorf("minisql: LIKE wants strings")
+		}
+		return tdb.Bool(likeMatch(r.AsString(), l.AsString())), nil
+	default:
+		return tdb.Value{}, fmt.Errorf("minisql: unknown operator %q", b.Op)
+	}
+}
+
+func boolOf(v tdb.Value) (val, known bool) {
+	if v.IsNull() {
+		return false, false
+	}
+	return v.AsBool(), v.K == tdb.KindBool
+}
+
+func arith(op string, l, r tdb.Value) (tdb.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return tdb.Null(), nil
+	}
+	if !l.Numeric() || !r.Numeric() {
+		// String concatenation with +.
+		if op == "+" && l.K == tdb.KindString && r.K == tdb.KindString {
+			return tdb.Str(l.AsString() + r.AsString()), nil
+		}
+		return tdb.Value{}, fmt.Errorf("minisql: %q wants numbers, got %v and %v", op, l.K, r.K)
+	}
+	if l.K == tdb.KindInt && r.K == tdb.KindInt {
+		a, b := l.AsInt(), r.AsInt()
+		switch op {
+		case "+":
+			return tdb.Int(a + b), nil
+		case "-":
+			return tdb.Int(a - b), nil
+		case "*":
+			return tdb.Int(a * b), nil
+		case "/":
+			if b == 0 {
+				return tdb.Value{}, fmt.Errorf("minisql: division by zero")
+			}
+			return tdb.Int(a / b), nil
+		case "%":
+			if b == 0 {
+				return tdb.Value{}, fmt.Errorf("minisql: modulo by zero")
+			}
+			return tdb.Int(a % b), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch op {
+	case "+":
+		return tdb.Float(a + b), nil
+	case "-":
+		return tdb.Float(a - b), nil
+	case "*":
+		return tdb.Float(a * b), nil
+	case "/":
+		if b == 0 {
+			return tdb.Value{}, fmt.Errorf("minisql: division by zero")
+		}
+		return tdb.Float(a / b), nil
+	case "%":
+		return tdb.Value{}, fmt.Errorf("minisql: %% wants integers")
+	}
+	return tdb.Value{}, fmt.Errorf("minisql: unknown arithmetic operator %q", op)
+}
+
+// dateLayouts tried when a string meets a time in a comparison, so
+// "WHERE at >= '1998-01-01'" works the way users expect from SQL.
+var dateLayouts = []string{"2006-01-02 15:04:05", "2006-01-02 15:04", "2006-01-02"}
+
+func coerceTime(v tdb.Value) (tdb.Value, bool) {
+	if v.K != tdb.KindString {
+		return v, false
+	}
+	for _, layout := range dateLayouts {
+		if t, err := time.ParseInLocation(layout, v.AsString(), time.UTC); err == nil {
+			return tdb.Time(t), true
+		}
+	}
+	return v, false
+}
+
+func compare(op string, l, r tdb.Value) (tdb.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return tdb.Null(), nil // SQL three-valued logic
+	}
+	if l.K == tdb.KindTime && r.K == tdb.KindString {
+		if c, ok := coerceTime(r); ok {
+			r = c
+		}
+	}
+	if r.K == tdb.KindTime && l.K == tdb.KindString {
+		if c, ok := coerceTime(l); ok {
+			l = c
+		}
+	}
+	c, err := l.Compare(r)
+	if err != nil {
+		return tdb.Value{}, err
+	}
+	switch op {
+	case "=":
+		return tdb.Bool(c == 0), nil
+	case "<>":
+		return tdb.Bool(c != 0), nil
+	case "<":
+		return tdb.Bool(c < 0), nil
+	case "<=":
+		return tdb.Bool(c <= 0), nil
+	case ">":
+		return tdb.Bool(c > 0), nil
+	case ">=":
+		return tdb.Bool(c >= 0), nil
+	}
+	return tdb.Value{}, fmt.Errorf("minisql: unknown comparison %q", op)
+}
+
+func evalInList(ev *env, in *InList) (tdb.Value, error) {
+	needle, err := eval(ev, in.E)
+	if err != nil {
+		return tdb.Value{}, err
+	}
+	if needle.IsNull() {
+		return tdb.Null(), nil
+	}
+	sawNull := false
+	for _, le := range in.List {
+		v, err := eval(ev, le)
+		if err != nil {
+			return tdb.Value{}, err
+		}
+		if v.IsNull() {
+			sawNull = true
+			continue
+		}
+		eq, err := compare("=", needle, v)
+		if err != nil {
+			return tdb.Value{}, err
+		}
+		if eq.K == tdb.KindBool && eq.AsBool() {
+			return tdb.Bool(!in.Negate), nil
+		}
+	}
+	if sawNull {
+		return tdb.Null(), nil
+	}
+	return tdb.Bool(in.Negate), nil
+}
+
+// likeMatch implements SQL LIKE: % matches any run, _ one character.
+// Matching is case-sensitive, like Oracle's.
+func likeMatch(pattern, s string) bool {
+	return likeRec(pattern, s)
+}
+
+func likeRec(p, s string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			p = strings.TrimLeft(p, "%")
+			if p == "" {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(p, s[i:]) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if s == "" {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		default:
+			if s == "" || p[0] != s[0] {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		}
+	}
+	return s == ""
+}
+
+// truthy interprets a WHERE result: true only for boolean TRUE; NULL
+// and FALSE filter the row out.
+func truthy(v tdb.Value) (bool, error) {
+	if v.IsNull() {
+		return false, nil
+	}
+	if v.K != tdb.KindBool {
+		return false, fmt.Errorf("minisql: WHERE condition is %v, not boolean", v.K)
+	}
+	return v.AsBool(), nil
+}

@@ -1,0 +1,146 @@
+package minisql
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/tarm-project/tarm/internal/tdb"
+)
+
+// scalarFns names the supported scalar functions; the parser rejects
+// calls to anything else at parse time.
+var scalarFns = map[string]struct{ minArgs, maxArgs int }{
+	"year":     {1, 1},
+	"month":    {1, 1},
+	"day":      {1, 1},
+	"weekday":  {1, 1}, // ISO: 1=Monday … 7=Sunday
+	"hour":     {1, 1},
+	"date":     {1, 1}, // parse a string into a time
+	"length":   {1, 1},
+	"lower":    {1, 1},
+	"upper":    {1, 1},
+	"abs":      {1, 1},
+	"round":    {1, 2},
+	"coalesce": {1, -1},
+}
+
+// evalFunc applies a scalar function. Functions are NULL-propagating
+// except COALESCE.
+func evalFunc(ev *env, fc *FuncCall) (tdb.Value, error) {
+	spec, ok := scalarFns[fc.Name]
+	if !ok {
+		return tdb.Value{}, fmt.Errorf("minisql: unknown function %q", fc.Name)
+	}
+	if len(fc.Args) < spec.minArgs || (spec.maxArgs >= 0 && len(fc.Args) > spec.maxArgs) {
+		return tdb.Value{}, fmt.Errorf("minisql: %s takes %d..%d arguments, got %d",
+			strings.ToUpper(fc.Name), spec.minArgs, spec.maxArgs, len(fc.Args))
+	}
+	args := make([]tdb.Value, len(fc.Args))
+	for i, a := range fc.Args {
+		v, err := eval(ev, a)
+		if err != nil {
+			return tdb.Value{}, err
+		}
+		args[i] = v
+	}
+
+	if fc.Name == "coalesce" {
+		for _, v := range args {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return tdb.Null(), nil
+	}
+	if args[0].IsNull() {
+		return tdb.Null(), nil
+	}
+
+	switch fc.Name {
+	case "year", "month", "day", "weekday", "hour":
+		v := args[0]
+		// A string argument coerces like in comparisons, so
+		// MONTH('1998-06-01') works.
+		if v.K == tdb.KindString {
+			if c, ok := coerceTime(v); ok {
+				v = c
+			}
+		}
+		if v.K != tdb.KindTime {
+			return tdb.Value{}, fmt.Errorf("minisql: %s wants a time, got %v", strings.ToUpper(fc.Name), v.K)
+		}
+		t := v.AsTime()
+		switch fc.Name {
+		case "year":
+			return tdb.Int(int64(t.Year())), nil
+		case "month":
+			return tdb.Int(int64(t.Month())), nil
+		case "day":
+			return tdb.Int(int64(t.Day())), nil
+		case "weekday":
+			wd := int64(t.Weekday())
+			if wd == 0 {
+				wd = 7
+			}
+			return tdb.Int(wd), nil
+		default: // hour
+			return tdb.Int(int64(t.Hour())), nil
+		}
+	case "date":
+		if args[0].K == tdb.KindTime {
+			return args[0], nil
+		}
+		if args[0].K != tdb.KindString {
+			return tdb.Value{}, fmt.Errorf("minisql: DATE wants a string, got %v", args[0].K)
+		}
+		c, ok := coerceTime(args[0])
+		if !ok {
+			return tdb.Value{}, fmt.Errorf("minisql: DATE cannot parse %q", args[0].AsString())
+		}
+		return c, nil
+	case "length":
+		if args[0].K != tdb.KindString {
+			return tdb.Value{}, fmt.Errorf("minisql: LENGTH wants a string, got %v", args[0].K)
+		}
+		return tdb.Int(int64(len(args[0].AsString()))), nil
+	case "lower":
+		if args[0].K != tdb.KindString {
+			return tdb.Value{}, fmt.Errorf("minisql: LOWER wants a string, got %v", args[0].K)
+		}
+		return tdb.Str(strings.ToLower(args[0].AsString())), nil
+	case "upper":
+		if args[0].K != tdb.KindString {
+			return tdb.Value{}, fmt.Errorf("minisql: UPPER wants a string, got %v", args[0].K)
+		}
+		return tdb.Str(strings.ToUpper(args[0].AsString())), nil
+	case "abs":
+		switch args[0].K {
+		case tdb.KindInt:
+			v := args[0].AsInt()
+			if v < 0 {
+				v = -v
+			}
+			return tdb.Int(v), nil
+		case tdb.KindFloat:
+			return tdb.Float(math.Abs(args[0].AsFloat())), nil
+		default:
+			return tdb.Value{}, fmt.Errorf("minisql: ABS wants a number, got %v", args[0].K)
+		}
+	case "round":
+		if !args[0].Numeric() {
+			return tdb.Value{}, fmt.Errorf("minisql: ROUND wants a number, got %v", args[0].K)
+		}
+		digits := int64(0)
+		if len(args) == 2 {
+			if args[1].K != tdb.KindInt {
+				return tdb.Value{}, fmt.Errorf("minisql: ROUND digits wants an integer")
+			}
+			digits = args[1].AsInt()
+		}
+		scale := math.Pow(10, float64(digits))
+		return tdb.Float(math.Round(args[0].AsFloat()*scale) / scale), nil
+	default:
+		return tdb.Value{}, fmt.Errorf("minisql: unimplemented function %q", fc.Name)
+	}
+}

@@ -1,0 +1,121 @@
+package minisql
+
+import (
+	"testing"
+)
+
+func TestScalarTimeFunctions(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT YEAR(at), MONTH(at), DAY(at), WEEKDAY(at), HOUR(at) FROM sales WHERE id = 1`)
+	row := res.Rows[0]
+	// 2024-01-01 is a Monday.
+	want := []int64{2024, 1, 1, 1, 0}
+	for i, w := range want {
+		if row[i].AsInt() != w {
+			t.Errorf("col %d = %v, want %d", i, row[i], w)
+		}
+	}
+}
+
+func TestGroupByMonth(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT MONTH(at) AS m, COUNT(*) AS n FROM sales GROUP BY MONTH(at) ORDER BY m`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("months = %v", res.Rows)
+	}
+	if res.Rows[0][0].AsInt() != 1 || res.Rows[0][1].AsInt() != 3 {
+		t.Errorf("January row = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].AsInt() != 2 || res.Rows[1][1].AsInt() != 2 {
+		t.Errorf("February row = %v", res.Rows[1])
+	}
+}
+
+func TestHaving(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT product, COUNT(*) AS n FROM sales GROUP BY product HAVING COUNT(*) > 1`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "milk" {
+		t.Errorf("HAVING result = %v", res.Rows)
+	}
+	// HAVING without GROUP BY filters the single global group.
+	res = mustExec(t, eng, `SELECT COUNT(*) FROM sales HAVING COUNT(*) > 100`)
+	if len(res.Rows) != 0 {
+		t.Errorf("global HAVING kept %v", res.Rows)
+	}
+	res = mustExec(t, eng, `SELECT COUNT(*) FROM sales HAVING COUNT(*) > 1`)
+	if len(res.Rows) != 1 {
+		t.Errorf("global HAVING dropped the row")
+	}
+}
+
+func TestStringAndMathFunctions(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT UPPER(product), LOWER('ABC'), LENGTH(product), ABS(-3), ABS(-2.5), ROUND(2.567, 1) FROM sales WHERE id = 1`)
+	row := res.Rows[0]
+	if row[0].AsString() != "BREAD" || row[1].AsString() != "abc" {
+		t.Errorf("case functions = %v %v", row[0], row[1])
+	}
+	if row[2].AsInt() != 5 {
+		t.Errorf("LENGTH = %v", row[2])
+	}
+	if row[3].AsInt() != 3 || row[4].AsFloat() != 2.5 {
+		t.Errorf("ABS = %v %v", row[3], row[4])
+	}
+	if row[5].AsFloat() != 2.6 {
+		t.Errorf("ROUND = %v", row[5])
+	}
+}
+
+func TestDateAndCoalesce(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT id FROM sales WHERE at >= DATE('2024-02-01')`)
+	if len(res.Rows) != 2 {
+		t.Errorf("DATE comparison rows = %d", len(res.Rows))
+	}
+	res = mustExec(t, eng, `SELECT COALESCE(amount, 0) AS a FROM sales WHERE id = 5`)
+	if res.Rows[0][0].AsFloat() != 0 {
+		t.Errorf("COALESCE = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, eng, `SELECT MONTH('1998-06-15') FROM sales LIMIT 1`)
+	if res.Rows[0][0].AsInt() != 6 {
+		t.Errorf("MONTH(string) = %v", res.Rows[0][0])
+	}
+}
+
+func TestFunctionNullPropagation(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT ABS(amount) FROM sales WHERE id = 5`)
+	if !res.Rows[0][0].IsNull() {
+		t.Errorf("ABS(NULL) = %v", res.Rows[0][0])
+	}
+}
+
+func TestFunctionErrors(t *testing.T) {
+	_, eng := fixture(t)
+	bad := []string{
+		`SELECT NOSUCH(1) FROM sales`,
+		`SELECT YEAR(product) FROM sales`,
+		`SELECT LENGTH(id) FROM sales`,
+		`SELECT ABS(product) FROM sales`,
+		`SELECT DATE('not a date') FROM sales`,
+		`SELECT YEAR() FROM sales`,
+		`SELECT YEAR(at, at) FROM sales`,
+		`SELECT ROUND(1.5, 'x') FROM sales`,
+		`SELECT * FROM sales HAVING product`,
+	}
+	for _, sql := range bad {
+		if _, err := eng.Exec(sql); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}
+
+func TestWeekdayFunctionSunday(t *testing.T) {
+	_, eng := fixture(t)
+	// 2024-02-04 is a Sunday → ISO weekday 7.
+	mustExec(t, eng, `INSERT INTO sales VALUES (9, 1.0, 'tea', 1, '2024-02-04')`)
+	res := mustExec(t, eng, `SELECT WEEKDAY(at) FROM sales WHERE id = 9`)
+	if res.Rows[0][0].AsInt() != 7 {
+		t.Errorf("Sunday WEEKDAY = %v", res.Rows[0][0])
+	}
+}

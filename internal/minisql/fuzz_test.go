@@ -1,0 +1,56 @@
+package minisql
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/tdb"
+)
+
+// FuzzParse checks the SQL parser never panics, and that statements it
+// accepts execute without panicking against a small database (errors
+// are fine; crashes are not).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT * FROM sales WHERE amount > 5 ORDER BY amount DESC LIMIT 3`,
+		`SELECT product, COUNT(*) AS n FROM sales GROUP BY product HAVING COUNT(*) > 1`,
+		`SELECT MONTH(at), SUM(qty) FROM sales GROUP BY MONTH(at)`,
+		`INSERT INTO sales VALUES (9, 1.5, 'x', 1, '2024-01-01')`,
+		`UPDATE sales SET qty = qty + 1 WHERE product LIKE 'b%'`,
+		`DELETE FROM sales WHERE amount IS NULL`,
+		`CREATE TABLE t (a int, b string)`,
+		`SHOW TABLES`,
+		`DESCRIBE sales`,
+		`SELECT 'unterminated`,
+		`SELECT (1 + ) FROM sales`,
+		`SELECT -- comment`,
+		`SELECT COALESCE(amount, 0), ROUND(1.5, 1) FROM sales`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		db := tdb.NewMemDB()
+		schema, _ := tdb.NewSchema(
+			tdb.Column{Name: "id", Kind: tdb.KindInt},
+			tdb.Column{Name: "amount", Kind: tdb.KindFloat},
+			tdb.Column{Name: "product", Kind: tdb.KindString},
+			tdb.Column{Name: "qty", Kind: tdb.KindInt},
+			tdb.Column{Name: "at", Kind: tdb.KindTime},
+		)
+		tbl, _ := db.CreateTable("sales", schema)
+		tbl.Insert(tdb.Row{tdb.Int(1), tdb.Float(2), tdb.Str("bread"), tdb.Int(3), tdb.Time(time.Unix(0, 0))})
+		tx, _ := db.CreateTxTable("baskets")
+		tx.Append(time.Unix(0, 0), itemset.New(0, 1))
+
+		eng := NewEngine(db)
+		res, err := eng.Exec(input)
+		if err != nil {
+			return
+		}
+		if res == nil {
+			t.Fatalf("nil result without error for %q", input)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+// Package minisql implements the SQL subset that backs the query half
+// of the integrated query-and-mining system (IQMS). The paper's
+// prototype issued Oracle SQL for data understanding before designing a
+// mining task; this package plays that role over tdb tables.
+//
+// Supported statements:
+//
+//	SELECT expr [AS name], ... FROM table [WHERE cond]
+//	       [GROUP BY expr, ...] [ORDER BY expr [ASC|DESC], ...]
+//	       [LIMIT n]
+//	INSERT INTO table VALUES (v, ...), (v, ...)
+//	CREATE TABLE name (col type, ...)
+//	DROP TABLE name
+//	SHOW TABLES
+//	DESCRIBE table
+//
+// Aggregates: COUNT(*), COUNT(e), SUM(e), AVG(e), MIN(e), MAX(e).
+package minisql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords lowercased; idents keep original case
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "<end of statement>"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// keywords recognised by the lexer. Identifiers matching these are
+// tagged tokKeyword with lowercase text.
+var sqlKeywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true, "having": true,
+	"order": true, "limit": true, "asc": true, "desc": true, "as": true,
+	"and": true, "or": true, "not": true, "insert": true, "into": true,
+	"values": true, "create": true, "table": true, "drop": true,
+	"delete": true, "update": true, "set": true,
+	"show": true, "tables": true, "describe": true, "null": true,
+	"true": true, "false": true, "count": true, "sum": true, "avg": true,
+	"min": true, "max": true, "distinct": true, "between": true, "in": true,
+	"like": true, "is": true,
+}
+
+func isASCIILetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+
+// lexSQL tokenises one statement. Identifiers are ASCII; string
+// literals may carry arbitrary bytes. Strings use single quotes with ”
+// escaping; -- comments run to end of line.
+func lexSQL(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '-' && i+1 < len(s) && s[i+1] == '-':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			var sb strings.Builder
+			j := i + 1
+			for {
+				if j >= len(s) {
+					return nil, fmt.Errorf("minisql: unterminated string at %d", i)
+				}
+				if s[j] == '\'' {
+					if j+1 < len(s) && s[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < len(s) && unicode.IsDigit(rune(s[i+1]))):
+			j := i
+			seenDot := false
+			for j < len(s) && (unicode.IsDigit(rune(s[j])) || (s[j] == '.' && !seenDot)) {
+				if s[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j], i})
+			i = j
+		case isASCIILetter(c) || c == '_':
+			j := i
+			for j < len(s) && (isASCIILetter(s[j]) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			word := s[i:j]
+			if sqlKeywords[strings.ToLower(word)] {
+				toks = append(toks, token{tokKeyword, strings.ToLower(word), i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			// Multi-char operators first.
+			two := ""
+			if i+1 < len(s) {
+				two = s[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, token{tokOp, two, i})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',', ';', '.', '%':
+				toks = append(toks, token{tokOp, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("minisql: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(s)})
+	return toks, nil
+}

@@ -1,0 +1,334 @@
+package minisql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/tdb"
+)
+
+// fixture builds a database with a sales table and a basket
+// transaction table.
+func fixture(t *testing.T) (*tdb.DB, *Engine) {
+	t.Helper()
+	db := tdb.NewMemDB()
+	eng := NewEngine(db)
+	mustExec(t, eng, `CREATE TABLE sales (id int, amount float, product string, qty int, at time)`)
+	rows := []string{
+		`INSERT INTO sales VALUES (1, 12.5, 'bread', 2, '2024-01-01')`,
+		`INSERT INTO sales VALUES (2, 8.0, 'milk', 1, '2024-01-01'), (3, 3.5, 'milk', 4, '2024-01-02')`,
+		`INSERT INTO sales VALUES (4, 20.0, 'butter', 1, '2024-02-01')`,
+		`INSERT INTO sales VALUES (5, NULL, 'jam', 1, '2024-02-02')`,
+	}
+	for _, r := range rows {
+		mustExec(t, eng, r)
+	}
+	tx, err := db.CreateTxTable("baskets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bread := db.Dict().Intern("bread")
+	milk := db.Dict().Intern("milk")
+	tx.Append(time.Date(2024, 1, 1, 9, 0, 0, 0, time.UTC), itemset.New(bread, milk))
+	tx.Append(time.Date(2024, 1, 2, 9, 0, 0, 0, time.UTC), itemset.New(bread))
+	return db, eng
+}
+
+func mustExec(t *testing.T, eng *Engine, sql string) *Result {
+	t.Helper()
+	res, err := eng.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestSelectStarWhereOrder(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT * FROM sales WHERE amount > 5 ORDER BY amount DESC`)
+	if len(res.Cols) != 5 || len(res.Rows) != 3 {
+		t.Fatalf("cols=%v rows=%d", res.Cols, len(res.Rows))
+	}
+	if res.Rows[0][2].AsString() != "butter" || res.Rows[2][2].AsString() != "milk" {
+		t.Errorf("order wrong: %v / %v", res.Rows[0][2], res.Rows[2][2])
+	}
+}
+
+func TestSelectProjectionAliasArithmetic(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT product, amount * qty AS total FROM sales WHERE amount IS NOT NULL ORDER BY total DESC LIMIT 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Cols[1] != "total" {
+		t.Errorf("alias = %q", res.Cols[1])
+	}
+	if res.Rows[0][0].AsString() != "bread" || res.Rows[0][1].AsFloat() != 25.0 {
+		t.Errorf("top row = %v", res.Rows[0])
+	}
+}
+
+func TestSelectTimeCoercion(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT id FROM sales WHERE at >= '2024-02-01'`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	res = mustExec(t, eng, `SELECT id FROM sales WHERE at BETWEEN '2024-01-01' AND '2024-01-31'`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("between rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestAggregatesGlobal(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT COUNT(*), COUNT(amount), SUM(qty), AVG(amount), MIN(amount), MAX(amount) FROM sales`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row[0].AsInt() != 5 {
+		t.Errorf("COUNT(*) = %v", row[0])
+	}
+	if row[1].AsInt() != 4 { // NULL amount skipped
+		t.Errorf("COUNT(amount) = %v", row[1])
+	}
+	if row[2].AsInt() != 9 {
+		t.Errorf("SUM(qty) = %v", row[2])
+	}
+	if avg := row[3].AsFloat(); avg < 10.99 || avg > 11.01 { // (12.5+8+3.5+20)/4
+		t.Errorf("AVG(amount) = %v", row[3])
+	}
+	if row[4].AsFloat() != 3.5 || row[5].AsFloat() != 20.0 {
+		t.Errorf("MIN/MAX = %v/%v", row[4], row[5])
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT product, COUNT(*) AS n, SUM(qty) AS q FROM sales GROUP BY product ORDER BY n DESC, product`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].AsString() != "milk" || res.Rows[0][1].AsInt() != 2 || res.Rows[0][2].AsInt() != 5 {
+		t.Errorf("milk group = %v", res.Rows[0])
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT COUNT(DISTINCT product) FROM sales`)
+	if res.Rows[0][0].AsInt() != 4 {
+		t.Errorf("COUNT(DISTINCT product) = %v", res.Rows[0][0])
+	}
+}
+
+func TestAggregateOverEmptyInput(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT COUNT(*), SUM(qty) FROM sales WHERE id > 100`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 0 || !res.Rows[0][1].IsNull() {
+		t.Errorf("empty aggregate = %v", res.Rows)
+	}
+	res = mustExec(t, eng, `SELECT product, COUNT(*) FROM sales WHERE id > 100 GROUP BY product`)
+	if len(res.Rows) != 0 {
+		t.Errorf("empty GROUP BY produced %v", res.Rows)
+	}
+}
+
+func TestInLikeNot(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT id FROM sales WHERE product IN ('milk', 'jam') ORDER BY id`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("IN rows = %d", len(res.Rows))
+	}
+	res = mustExec(t, eng, `SELECT id FROM sales WHERE product NOT IN ('milk', 'jam') ORDER BY id`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("NOT IN rows = %d", len(res.Rows))
+	}
+	res = mustExec(t, eng, `SELECT id FROM sales WHERE product LIKE 'b%'`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("LIKE rows = %d", len(res.Rows))
+	}
+	res = mustExec(t, eng, `SELECT id FROM sales WHERE product LIKE '_ilk'`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("underscore LIKE rows = %d", len(res.Rows))
+	}
+	res = mustExec(t, eng, `SELECT id FROM sales WHERE NOT (product = 'milk') AND amount IS NOT NULL`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("NOT rows = %d", len(res.Rows))
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	_, eng := fixture(t)
+	// NULL comparisons are UNKNOWN and filter out.
+	res := mustExec(t, eng, `SELECT id FROM sales WHERE amount > 0 OR amount <= 0`)
+	if len(res.Rows) != 4 {
+		t.Errorf("three-valued logic rows = %d, want 4", len(res.Rows))
+	}
+	res = mustExec(t, eng, `SELECT id FROM sales WHERE amount IS NULL`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 5 {
+		t.Errorf("IS NULL rows = %v", res.Rows)
+	}
+}
+
+func TestTxTableVirtualView(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT item, COUNT(*) AS n FROM baskets GROUP BY item ORDER BY n DESC`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].AsString() != "bread" || res.Rows[0][1].AsInt() != 2 {
+		t.Errorf("bread row = %v", res.Rows[0])
+	}
+	res = mustExec(t, eng, `DESCRIBE baskets`)
+	if len(res.Rows) != 3 {
+		t.Errorf("describe rows = %v", res.Rows)
+	}
+	if _, err := eng.Exec(`INSERT INTO baskets VALUES (1, '2024-01-01', 'x')`); err == nil {
+		t.Error("INSERT into tx table accepted")
+	}
+}
+
+func TestShowCreateDrop(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SHOW TABLES`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("SHOW TABLES = %v", res.Rows)
+	}
+	mustExec(t, eng, `CREATE TABLE extra (x int)`)
+	res = mustExec(t, eng, `SHOW TABLES`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("after create = %v", res.Rows)
+	}
+	mustExec(t, eng, `DROP TABLE extra`)
+	res = mustExec(t, eng, `SHOW TABLES`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("after drop = %v", res.Rows)
+	}
+	if _, err := eng.Exec(`DROP TABLE nope`); err == nil {
+		t.Error("drop of missing table accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	_, eng := fixture(t)
+	bad := []string{
+		``,
+		`SELEC 1`,
+		`SELECT FROM sales`,
+		`SELECT * FROM`,
+		`SELECT * FROM sales WHERE`,
+		`SELECT * FROM sales LIMIT -1`,
+		`SELECT * FROM sales LIMIT x`,
+		`SELECT * FROM sales GROUP`,
+		`SELECT * FROM nosuch`,
+		`INSERT INTO sales VALUES`,
+		`INSERT INTO sales VALUES (1,2`,
+		`CREATE TABLE t`,
+		`CREATE TABLE t (x blob)`,
+		`SELECT SUM(*) FROM sales`,
+		`SELECT 'unterminated FROM sales`,
+		`SELECT * FROM sales; SELECT 1`,
+		`SELECT a ~ b FROM sales`,
+	}
+	for _, sql := range bad {
+		if _, err := eng.Exec(sql); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	_, eng := fixture(t)
+	bad := []string{
+		`SELECT nocol FROM sales`,
+		`SELECT id / 0 FROM sales`,
+		`SELECT id % 0 FROM sales`,
+		`SELECT -product FROM sales`,
+		`SELECT product + id FROM sales`,
+		`SELECT * FROM sales WHERE product`,
+		`SELECT SUM(product) FROM sales`,
+		`SELECT * FROM sales WHERE product > id`,
+	}
+	for _, sql := range bad {
+		if _, err := eng.Exec(sql); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}
+
+func TestIntArithmeticAndConcat(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT 7 / 2, 7.0 / 2, 7 % 3, 'a' + 'b' FROM sales LIMIT 1`)
+	row := res.Rows[0]
+	if row[0].AsInt() != 3 {
+		t.Errorf("int div = %v", row[0])
+	}
+	if row[1].AsFloat() != 3.5 {
+		t.Errorf("float div = %v", row[1])
+	}
+	if row[2].AsInt() != 1 {
+		t.Errorf("mod = %v", row[2])
+	}
+	if row[3].AsString() != "ab" {
+		t.Errorf("concat = %v", row[3])
+	}
+}
+
+func TestFormat(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT product, qty FROM sales ORDER BY id LIMIT 2`)
+	var sb strings.Builder
+	Format(&sb, res)
+	out := sb.String()
+	for _, want := range []string{"product", "bread", "milk", "2 row(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLikeMatcher(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"%", "", true},
+		{"%", "anything", true},
+		{"a%", "abc", true},
+		{"a%", "bac", false},
+		{"%c", "abc", true},
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"a%b%c", "axxbyyc", true},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"", "", true},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pat, c.s); got != c.want {
+			t.Errorf("likeMatch(%q,%q) = %v", c.pat, c.s, got)
+		}
+	}
+}
+
+func TestSelectImplicitAlias(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT product p FROM sales LIMIT 1`)
+	if res.Cols[0] != "p" {
+		t.Errorf("implicit alias = %q", res.Cols[0])
+	}
+}
+
+func TestOrderByExpressionNonGrouped(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `SELECT id FROM sales WHERE qty > 0 ORDER BY qty * -1`)
+	// qty: 2,1,4,1,1 → ordered by -qty: 4 first (id 3), then 2 (id 1).
+	if res.Rows[0][0].AsInt() != 3 || res.Rows[1][0].AsInt() != 1 {
+		t.Errorf("order by expression rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,85 @@
+package minisql
+
+import (
+	"testing"
+)
+
+func TestDelete(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `DELETE FROM sales WHERE product = 'milk'`)
+	if res.Rows[0][0].AsString() != "2 row(s) deleted from sales" {
+		t.Errorf("message = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, eng, `SELECT COUNT(*) FROM sales`)
+	if res.Rows[0][0].AsInt() != 3 {
+		t.Errorf("remaining = %v", res.Rows[0][0])
+	}
+	// WHERE over NULL filters out (three-valued logic): the NULL-amount
+	// row survives an amount comparison.
+	mustExec(t, eng, `DELETE FROM sales WHERE amount > 0`)
+	res = mustExec(t, eng, `SELECT product FROM sales`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "jam" {
+		t.Errorf("survivors = %v", res.Rows)
+	}
+	// Unconditional delete empties the table.
+	mustExec(t, eng, `DELETE FROM sales`)
+	res = mustExec(t, eng, `SELECT COUNT(*) FROM sales`)
+	if res.Rows[0][0].AsInt() != 0 {
+		t.Errorf("after full delete = %v", res.Rows[0][0])
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	_, eng := fixture(t)
+	res := mustExec(t, eng, `UPDATE sales SET amount = amount * 2, qty = qty + 1 WHERE product = 'milk'`)
+	if res.Rows[0][0].AsString() != "2 row(s) updated in sales" {
+		t.Errorf("message = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, eng, `SELECT amount, qty FROM sales WHERE product = 'milk' ORDER BY id`)
+	if res.Rows[0][0].AsFloat() != 16.0 || res.Rows[0][1].AsInt() != 2 {
+		t.Errorf("row 0 = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].AsFloat() != 7.0 || res.Rows[1][1].AsInt() != 5 {
+		t.Errorf("row 1 = %v", res.Rows[1])
+	}
+	// SET sees old values: swapping via two assignments works.
+	mustExec(t, eng, `UPDATE sales SET amount = qty, qty = id WHERE id = 1`)
+	res = mustExec(t, eng, `SELECT amount, qty FROM sales WHERE id = 1`)
+	if res.Rows[0][0].AsFloat() != 2.0 || res.Rows[0][1].AsInt() != 1 {
+		t.Errorf("swap = %v", res.Rows[0])
+	}
+	// Time coercion in SET.
+	mustExec(t, eng, `UPDATE sales SET at = '2025-06-01' WHERE id = 1`)
+	res = mustExec(t, eng, `SELECT YEAR(at) FROM sales WHERE id = 1`)
+	if res.Rows[0][0].AsInt() != 2025 {
+		t.Errorf("time set = %v", res.Rows[0][0])
+	}
+}
+
+func TestMutationErrors(t *testing.T) {
+	db, eng := fixture(t)
+	_ = db
+	bad := []string{
+		`DELETE FROM nosuch`,
+		`DELETE FROM baskets`, // tx table is append-only
+		`DELETE FROM sales WHERE nocol = 1`,
+		`UPDATE nosuch SET x = 1`,
+		`UPDATE baskets SET item = 'x'`,
+		`UPDATE sales SET nocol = 1`,
+		`UPDATE sales SET product = 1`,   // type mismatch
+		`UPDATE sales SET qty = qty / 0`, // runtime error aborts cleanly
+		`UPDATE sales SET`,
+		`UPDATE sales SET qty 1`,
+		`DELETE sales`,
+	}
+	for _, sql := range bad {
+		if _, err := eng.Exec(sql); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+	// After the failed updates the data is unchanged.
+	res := mustExec(t, eng, `SELECT COUNT(*), SUM(qty) FROM sales`)
+	if res.Rows[0][0].AsInt() != 5 || res.Rows[0][1].AsInt() != 9 {
+		t.Errorf("table mutated by failed statement: %v", res.Rows[0])
+	}
+}

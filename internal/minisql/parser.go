@@ -1,0 +1,662 @@
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/tarm-project/tarm/internal/tdb"
+)
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(input string) (Stmt, error) {
+	toks, err := lexSQL(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("minisql: unexpected %v after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type sqlParser struct {
+	toks []token
+	i    int
+}
+
+func (p *sqlParser) peek() token { return p.toks[p.i] }
+
+func (p *sqlParser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// accept consumes the next token when its text matches (keywords and
+// operators only).
+func (p *sqlParser) accept(text string) bool {
+	t := p.peek()
+	if (t.kind == tokKeyword || t.kind == tokOp) && t.text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expect(text string) error {
+	if p.accept(text) {
+		return nil
+	}
+	return fmt.Errorf("minisql: expected %q, found %v", text, p.peek())
+}
+
+// ident consumes an identifier (or a non-reserved keyword used as a
+// name) and returns its text.
+func (p *sqlParser) ident(what string) (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		p.i++
+		return t.text, nil
+	}
+	return "", fmt.Errorf("minisql: expected %s, found %v", what, t)
+}
+
+func (p *sqlParser) parseStmt() (Stmt, error) {
+	switch t := p.peek(); {
+	case t.kind == tokKeyword && t.text == "select":
+		return p.parseSelect()
+	case t.kind == tokKeyword && t.text == "insert":
+		return p.parseInsert()
+	case t.kind == tokKeyword && t.text == "create":
+		return p.parseCreate()
+	case t.kind == tokKeyword && t.text == "drop":
+		return p.parseDrop()
+	case t.kind == tokKeyword && t.text == "delete":
+		return p.parseDelete()
+	case t.kind == tokKeyword && t.text == "update":
+		return p.parseUpdate()
+	case t.kind == tokKeyword && t.text == "show":
+		p.next()
+		if err := p.expect("tables"); err != nil {
+			return nil, err
+		}
+		return &ShowTablesStmt{}, nil
+	case t.kind == tokKeyword && t.text == "describe":
+		p.next()
+		name, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		return &DescribeStmt{Table: name}, nil
+	default:
+		return nil, fmt.Errorf("minisql: expected a statement, found %v", t)
+	}
+}
+
+func (p *sqlParser) parseSelect() (Stmt, error) {
+	if err := p.expect("select"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	for {
+		if p.accept("*") {
+			sel.Exprs = append(sel.Exprs, SelectExpr{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			se := SelectExpr{Expr: e}
+			if p.accept("as") {
+				alias, err := p.ident("alias")
+				if err != nil {
+					return nil, err
+				}
+				se.Alias = alias
+			} else if p.peek().kind == tokIdent {
+				se.Alias = p.next().text
+			}
+			sel.Exprs = append(sel.Exprs, se)
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	sel.From = name
+
+	if p.accept("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.accept("group") {
+		if err := p.expect("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.accept("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.accept("order") {
+		if err := p.expect("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.accept("desc") {
+				key.Desc = true
+			} else {
+				p.accept("asc")
+			}
+			sel.OrderBy = append(sel.OrderBy, key)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.accept("limit") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("minisql: LIMIT wants a number, found %v", t)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("minisql: bad LIMIT %q", t.text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *sqlParser) parseInsert() (Stmt, error) {
+	if err := p.expect("insert"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("values"); err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: name}
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *sqlParser) parseCreate() (Stmt, error) {
+	if err := p.expect("create"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTableStmt{Table: name}
+	for {
+		colName, err := p.ident("column name")
+		if err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.kind != tokIdent && t.kind != tokKeyword {
+			return nil, fmt.Errorf("minisql: expected a type for column %q, found %v", colName, t)
+		}
+		kind, err := tdb.ParseKind(t.text)
+		if err != nil {
+			return nil, err
+		}
+		ct.Cols = append(ct.Cols, tdb.Column{Name: colName, Kind: kind})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *sqlParser) parseDrop() (Stmt, error) {
+	if err := p.expect("drop"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Table: name}, nil
+}
+
+func (p *sqlParser) parseDelete() (Stmt, error) {
+	if err := p.expect("delete"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	del := &DeleteStmt{Table: name}
+	if p.accept("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = e
+	}
+	return del, nil
+}
+
+func (p *sqlParser) parseUpdate() (Stmt, error) {
+	if err := p.expect("update"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("set"); err != nil {
+		return nil, err
+	}
+	upd := &UpdateStmt{Table: name}
+	for {
+		col, err := p.ident("column name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Sets = append(upd.Sets, SetClause{Col: col, Expr: e})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.accept("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Where = e
+	}
+	return upd, nil
+}
+
+// ---------------------------------------------------------------------
+// Expressions, precedence climbing:
+//   or < and < not < comparison/in/like/is < additive < multiplicative
+//   < unary minus < primary
+
+func (p *sqlParser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *sqlParser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "or", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "and", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseNot() (Expr, error) {
+	if p.accept("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "not", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *sqlParser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept("is") {
+		neg := p.accept("not")
+		if err := p.expect("null"); err != nil {
+			return nil, err
+		}
+		return &IsNull{E: left, Negate: neg}, nil
+	}
+	// [NOT] IN (...) / [NOT] LIKE / [NOT] BETWEEN
+	neg := false
+	if t := p.peek(); t.kind == tokKeyword && t.text == "not" {
+		// lookahead: "not in", "not like", "not between"
+		if p.i+1 < len(p.toks) {
+			nt := p.toks[p.i+1]
+			if nt.kind == tokKeyword && (nt.text == "in" || nt.text == "like" || nt.text == "between") {
+				p.i++
+				neg = true
+			}
+		}
+	}
+	switch {
+	case p.accept("in"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &InList{E: left, List: list, Negate: neg}, nil
+	case p.accept("like"):
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		e := Expr(&Binary{Op: "like", L: left, R: right})
+		if neg {
+			e = &Unary{Op: "not", E: e}
+		}
+		return e, nil
+	case p.accept("between"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		e := Expr(&Binary{Op: "and",
+			L: &Binary{Op: ">=", L: left, R: lo},
+			R: &Binary{Op: "<=", L: left, R: hi},
+		})
+		if neg {
+			e = &Unary{Op: "not", E: e}
+		}
+		return e, nil
+	}
+	for _, op := range []string{"=", "<>", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(op) {
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Binary{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "+", L: left, R: right}
+		case p.accept("-"):
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "-", L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *sqlParser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("*"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "*", L: left, R: right}
+		case p.accept("/"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "/", L: left, R: right}
+		case p.accept("%"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "%", L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *sqlParser) parseUnary() (Expr, error) {
+	if p.accept("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggFns = map[string]bool{"count": true, "sum": true, "avg": true, "min": true, "max": true}
+
+func (p *sqlParser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("minisql: bad number %q", t.text)
+			}
+			return &Lit{V: tdb.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("minisql: bad number %q", t.text)
+		}
+		return &Lit{V: tdb.Int(n)}, nil
+	case t.kind == tokString:
+		p.next()
+		return &Lit{V: tdb.Str(t.text)}, nil
+	case t.kind == tokKeyword && t.text == "null":
+		p.next()
+		return &Lit{V: tdb.Null()}, nil
+	case t.kind == tokKeyword && t.text == "true":
+		p.next()
+		return &Lit{V: tdb.Bool(true)}, nil
+	case t.kind == tokKeyword && t.text == "false":
+		p.next()
+		return &Lit{V: tdb.Bool(false)}, nil
+	case t.kind == tokKeyword && aggFns[t.text]:
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		agg := &Agg{Fn: t.text}
+		if p.accept("*") {
+			if t.text != "count" {
+				return nil, fmt.Errorf("minisql: %s(*) is not valid; only COUNT(*)", strings.ToUpper(t.text))
+			}
+		} else {
+			agg.Distinct = p.accept("distinct")
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			agg.E = e
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return agg, nil
+	case t.kind == tokIdent:
+		p.next()
+		// An identifier followed by '(' is a scalar function call.
+		if p.peek().kind == tokOp && p.peek().text == "(" {
+			name := strings.ToLower(t.text)
+			if _, ok := scalarFns[name]; !ok {
+				return nil, fmt.Errorf("minisql: unknown function %q", t.text)
+			}
+			p.next() // consume '('
+			fc := &FuncCall{Name: name}
+			if !p.accept(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, arg)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			return fc, nil
+		}
+		return &ColRef{Name: t.text}, nil
+	case t.kind == tokOp && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("minisql: expected an expression, found %v", t)
+	}
+}

@@ -1,0 +1,193 @@
+// Package prune post-processes mined rule sets for presentation: the
+// "result analysis" step of the IQMI loop. Miners at low thresholds
+// return many true-but-uninteresting rules; these filters keep the
+// ones a human should look at.
+//
+// Three classic measures are implemented:
+//
+//   - Lift: conf(X⇒Y) / supp(Y). Rules at or below 1 are negatively or
+//     un-correlated and usually noise.
+//   - Improvement: conf(X⇒Y) − max over proper sub-antecedents X'⊂X of
+//     conf(X'⇒Y). A rule that barely beats a simpler rule with the
+//     same consequent is redundant.
+//   - Significance: the binomial tail probability of seeing the
+//     observed co-occurrence count if X and Y were independent. Rules
+//     with a large p-value co-occur plausibly by chance.
+package prune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/itemset"
+)
+
+// Options selects which filters run; zero values disable a filter.
+type Options struct {
+	// MinLift keeps rules with Lift ≥ MinLift (e.g. 1.1).
+	MinLift float64
+	// MinImprovement keeps rules whose confidence exceeds every proper
+	// sub-antecedent rule's confidence by at least this much (e.g.
+	// 0.05). Rules whose sub-antecedent rules are not in the input set
+	// are kept (nothing to compare against).
+	MinImprovement float64
+	// MaxPValue keeps rules whose independence p-value is at most this
+	// (e.g. 0.01). Requires N > 0.
+	MaxPValue float64
+	// N is the number of transactions behind the rules' Support
+	// fractions; required when MaxPValue > 0.
+	N int
+}
+
+// Stats summarises a Filter run.
+type Stats struct {
+	In, Kept                       int
+	DropLift, DropImprove, DropSig int
+}
+
+// Filter applies the enabled filters and returns the surviving rules in
+// the input order, plus drop counts per filter. Filters apply in the
+// order lift → significance → improvement (improvement is relative to
+// the rules that survived the absolute filters).
+func Filter(rules []apriori.Rule, opt Options) ([]apriori.Rule, Stats, error) {
+	if opt.MaxPValue > 0 && opt.N <= 0 {
+		return nil, Stats{}, fmt.Errorf("prune: MaxPValue needs N (transaction count)")
+	}
+	if opt.MinLift < 0 || opt.MaxPValue < 0 || opt.MinImprovement < 0 {
+		return nil, Stats{}, fmt.Errorf("prune: negative option")
+	}
+	stats := Stats{In: len(rules)}
+
+	var pass []apriori.Rule
+	for _, r := range rules {
+		if opt.MinLift > 0 && r.Lift < opt.MinLift {
+			stats.DropLift++
+			continue
+		}
+		if opt.MaxPValue > 0 {
+			p := IndependencePValue(r, opt.N)
+			if p > opt.MaxPValue {
+				stats.DropSig++
+				continue
+			}
+		}
+		pass = append(pass, r)
+	}
+
+	if opt.MinImprovement > 0 {
+		// Index confidence by (antecedent, consequent) among survivors.
+		conf := make(map[string]float64, len(pass))
+		for _, r := range pass {
+			conf[r.Key()] = r.Confidence
+		}
+		var out []apriori.Rule
+		for _, r := range pass {
+			if improvement(r, conf) < opt.MinImprovement {
+				stats.DropImprove++
+				continue
+			}
+			out = append(out, r)
+		}
+		pass = out
+	}
+	stats.Kept = len(pass)
+	return pass, stats, nil
+}
+
+// improvement returns conf(r) minus the best confidence among the
+// immediate sub-antecedent rules (drop one antecedent item, same
+// consequent) present in conf. Deeper sub-antecedents are covered
+// transitively: if X” ⊂ X' ⊂ X and X'⇒y barely improves on X”⇒y,
+// X'⇒y is itself dropped and X⇒y is then compared against what
+// remains of its chain on the next filtering of the survivors — one
+// pass against immediate parents is the standard approximation.
+// Returns +Inf when no comparable simpler rule is in the set.
+func improvement(r apriori.Rule, conf map[string]float64) float64 {
+	if r.Antecedent.Len() <= 1 {
+		return math.Inf(1) // no proper sub-antecedent rules exist
+	}
+	best := math.Inf(-1)
+	r.Antecedent.EachSubsetK1(func(sub itemset.Set) bool {
+		key := apriori.Rule{Antecedent: sub.Clone(), Consequent: r.Consequent}.Key()
+		if c, ok := conf[key]; ok && c > best {
+			best = c
+		}
+		return true
+	})
+	if math.IsInf(best, -1) {
+		return math.Inf(1)
+	}
+	return r.Confidence - best
+}
+
+// IndependencePValue returns P[count ≥ observed] under the hypothesis
+// that antecedent and consequent occur independently: the binomial tail
+// B(n, pₓ·p_y) at the rule's joint count. Support fractions reconstruct
+// the marginals: pₓ = supp(X∪Y)/conf, p_y from lift = conf/p_y.
+func IndependencePValue(r apriori.Rule, n int) float64 {
+	if r.Confidence <= 0 || r.Lift <= 0 || n <= 0 {
+		return 1
+	}
+	px := r.Support / r.Confidence // supp(X)
+	py := r.Confidence / r.Lift    // supp(Y)
+	p := px * py
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 1
+	}
+	k := int(math.Round(r.Support * float64(n)))
+	return binomTail(n, k, p)
+}
+
+// binomTail is P[Bin(n,p) ≥ k], computed exactly in log space for
+// small n and by normal approximation with continuity correction for
+// large n.
+func binomTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	if n <= 10000 {
+		// Exact sum of the upper tail.
+		logP := math.Log(p)
+		logQ := math.Log1p(-p)
+		sum := 0.0
+		for i := k; i <= n; i++ {
+			lg, _ := math.Lgamma(float64(n + 1))
+			lgi, _ := math.Lgamma(float64(i + 1))
+			lgni, _ := math.Lgamma(float64(n - i + 1))
+			sum += math.Exp(lg - lgi - lgni + float64(i)*logP + float64(n-i)*logQ)
+		}
+		if sum > 1 {
+			sum = 1
+		}
+		return sum
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	if sd == 0 {
+		if float64(k) <= mean {
+			return 1
+		}
+		return 0
+	}
+	z := (float64(k) - 0.5 - mean) / sd
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// SortByLift orders rules by descending lift, then canonically; a
+// convenient presentation order after filtering.
+func SortByLift(rules []apriori.Rule) {
+	sort.SliceStable(rules, func(i, j int) bool {
+		if rules[i].Lift != rules[j].Lift {
+			return rules[i].Lift > rules[j].Lift
+		}
+		return rules[i].Compare(rules[j]) < 0
+	})
+}

@@ -1,0 +1,197 @@
+package tdb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+)
+
+// CSV basket format: one transaction per record,
+//
+//	timestamp,item1;item2;item3
+//
+// with timestamps in "2006-01-02 15:04:05", "2006-01-02 15:04" or
+// "2006-01-02" (UTC). A header record whose first field is "timestamp"
+// (case-insensitive) is skipped. Item names are interned through the
+// dictionary, so imports compose with mining and name resolution.
+
+// csvTimeLayouts accepted on import, tried in order.
+var csvTimeLayouts = []string{"2006-01-02 15:04:05", "2006-01-02 15:04", "2006-01-02", time.RFC3339}
+
+func parseCSVTime(s string) (time.Time, error) {
+	s = strings.TrimSpace(s)
+	for _, layout := range csvTimeLayouts {
+		if t, err := time.ParseInLocation(layout, s, time.UTC); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("tdb: cannot parse timestamp %q", s)
+}
+
+// ImportBaskets reads basket CSV into tbl, interning item names through
+// dict. It returns the number of transactions imported; on error,
+// rows already imported remain (the caller sees how many via n).
+func ImportBaskets(r io.Reader, tbl *TxTable, dict *itemset.Dict) (n int, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	cr.TrimLeadingSpace = true
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("tdb: basket csv: %w", err)
+		}
+		line++
+		if line == 1 && strings.EqualFold(strings.TrimSpace(rec[0]), "timestamp") {
+			continue // header
+		}
+		at, err := parseCSVTime(rec[0])
+		if err != nil {
+			return n, fmt.Errorf("tdb: basket csv record %d: %w", line, err)
+		}
+		var items []itemset.Item
+		for _, name := range strings.Split(rec[1], ";") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			items = append(items, dict.Intern(name))
+		}
+		if len(items) == 0 {
+			return n, fmt.Errorf("tdb: basket csv record %d: empty basket", line)
+		}
+		tbl.Append(at, itemset.New(items...))
+		n++
+	}
+}
+
+// ExportBaskets writes tbl in the basket CSV format, resolving item
+// names through dict (unknown identifiers render as "#<id>").
+func ExportBaskets(w io.Writer, tbl *TxTable, dict *itemset.Dict) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", "items"}); err != nil {
+		return err
+	}
+	var exportErr error
+	tbl.Each(func(tx Tx) bool {
+		names := make([]string, len(tx.Items))
+		for i, it := range tx.Items {
+			name := fmt.Sprintf("#%d", it)
+			if dict != nil {
+				if resolved, err := dict.Name(it); err == nil {
+					name = resolved
+				}
+			}
+			names[i] = name
+		}
+		if err := cw.Write([]string{tx.At.UTC().Format("2006-01-02 15:04:05"), strings.Join(names, ";")}); err != nil {
+			exportErr = err
+			return false
+		}
+		return true
+	})
+	if exportErr != nil {
+		return exportErr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ImportTable reads plain CSV into a relational table. The first record
+// must be a header matching the schema's column names (case-insensitive,
+// any order); values are parsed according to the column types, with
+// empty fields as NULL.
+func ImportTable(r io.Reader, tbl *Table) (n int, err error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("tdb: table csv: missing header: %w", err)
+	}
+	schema := tbl.Schema()
+	colFor := make([]int, len(header))
+	for i, h := range header {
+		idx := schema.ColIndex(strings.TrimSpace(h))
+		if idx < 0 {
+			return 0, fmt.Errorf("tdb: table csv: unknown column %q", h)
+		}
+		colFor[i] = idx
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("tdb: table csv: %w", err)
+		}
+		line++
+		row := make(Row, len(schema.Cols))
+		for i := range row {
+			row[i] = Null()
+		}
+		for i, field := range rec {
+			if i >= len(colFor) {
+				return n, fmt.Errorf("tdb: table csv record %d: too many fields", line)
+			}
+			col := schema.Cols[colFor[i]]
+			v, err := parseCSVValue(field, col.Kind)
+			if err != nil {
+				return n, fmt.Errorf("tdb: table csv record %d, column %q: %w", line, col.Name, err)
+			}
+			row[colFor[i]] = v
+		}
+		if err := tbl.Insert(row); err != nil {
+			return n, fmt.Errorf("tdb: table csv record %d: %w", line, err)
+		}
+		n++
+	}
+}
+
+func parseCSVValue(field string, kind Kind) (Value, error) {
+	field = strings.TrimSpace(field)
+	if field == "" {
+		return Null(), nil
+	}
+	switch kind {
+	case KindInt:
+		var v int64
+		if _, err := fmt.Sscanf(field, "%d", &v); err != nil {
+			return Value{}, fmt.Errorf("bad int %q", field)
+		}
+		return Int(v), nil
+	case KindFloat:
+		var v float64
+		if _, err := fmt.Sscanf(field, "%g", &v); err != nil {
+			return Value{}, fmt.Errorf("bad float %q", field)
+		}
+		return Float(v), nil
+	case KindString:
+		return Str(field), nil
+	case KindBool:
+		switch strings.ToLower(field) {
+		case "true", "t", "1", "yes":
+			return Bool(true), nil
+		case "false", "f", "0", "no":
+			return Bool(false), nil
+		default:
+			return Value{}, fmt.Errorf("bad bool %q", field)
+		}
+	case KindTime:
+		t, err := parseCSVTime(field)
+		if err != nil {
+			return Value{}, err
+		}
+		return Time(t), nil
+	default:
+		return Value{}, fmt.Errorf("unsupported column type %v", kind)
+	}
+}

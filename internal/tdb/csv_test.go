@@ -1,0 +1,171 @@
+package tdb
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+)
+
+func TestImportBaskets(t *testing.T) {
+	input := `timestamp,items
+2024-01-01 09:30,bread;milk
+2024-01-01,bread
+2024-01-02 10:00:00,milk; butter ;bread
+`
+	tbl, _ := NewTxTable("b")
+	dict := itemset.NewDict()
+	n, err := ImportBaskets(strings.NewReader(input), tbl, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || tbl.Len() != 3 {
+		t.Fatalf("imported %d, table has %d", n, tbl.Len())
+	}
+	if dict.Len() != 3 {
+		t.Errorf("dict has %d names", dict.Len())
+	}
+	var last Tx
+	tbl.Each(func(tx Tx) bool { last = tx; return true })
+	if last.Items.Len() != 3 {
+		t.Errorf("last basket = %v", dict.Names(last.Items))
+	}
+	if !last.At.Equal(time.Date(2024, 1, 2, 10, 0, 0, 0, time.UTC)) {
+		t.Errorf("last timestamp = %v", last.At)
+	}
+}
+
+func TestImportBasketsErrors(t *testing.T) {
+	cases := []string{
+		"notadate,bread\n",
+		"2024-01-01,\n",
+		"2024-01-01,;;\n",
+		"2024-01-01\n", // wrong arity
+	}
+	for _, in := range cases {
+		tbl, _ := NewTxTable("b")
+		if _, err := ImportBaskets(strings.NewReader(in), tbl, itemset.NewDict()); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+	// Empty input imports zero rows without error.
+	tbl, _ := NewTxTable("b")
+	n, err := ImportBaskets(strings.NewReader(""), tbl, itemset.NewDict())
+	if err != nil || n != 0 {
+		t.Errorf("empty input: %d, %v", n, err)
+	}
+}
+
+func TestBasketsRoundTrip(t *testing.T) {
+	tbl := buildTxTable(t)
+	dict := itemset.NewDict()
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		dict.Intern(n)
+	}
+	var sb strings.Builder
+	if err := ExportBaskets(&sb, tbl, dict); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, _ := NewTxTable("copy")
+	dict2 := itemset.NewDict()
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		dict2.Intern(n) // same ids
+	}
+	n, err := ImportBaskets(strings.NewReader(sb.String()), tbl2, dict2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != tbl.Len() {
+		t.Fatalf("round trip imported %d of %d", n, tbl.Len())
+	}
+	var orig, copied []Tx
+	tbl.Each(func(tx Tx) bool { orig = append(orig, tx); return true })
+	tbl2.Each(func(tx Tx) bool { copied = append(copied, tx); return true })
+	for i := range orig {
+		if !orig[i].Items.Equal(copied[i].Items) {
+			t.Errorf("tx %d items %v vs %v", i, orig[i].Items, copied[i].Items)
+		}
+		// Seconds precision survives; the fixture uses whole minutes.
+		if !orig[i].At.Truncate(time.Second).Equal(copied[i].At) {
+			t.Errorf("tx %d time %v vs %v", i, orig[i].At, copied[i].At)
+		}
+	}
+}
+
+func TestExportBasketsUnknownID(t *testing.T) {
+	tbl, _ := NewTxTable("b")
+	tbl.Append(time.Unix(0, 0), itemset.New(42))
+	var sb strings.Builder
+	if err := ExportBaskets(&sb, tbl, itemset.NewDict()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#42") {
+		t.Errorf("unknown id not rendered: %q", sb.String())
+	}
+}
+
+func TestImportTable(t *testing.T) {
+	tbl, _ := NewTable("sales", salesSchema(t))
+	input := `product,id,amount,at
+bread,1,2.5,2024-01-01
+milk,2,,2024-01-02 09:30
+,3,1.0,
+`
+	n, err := ImportTable(strings.NewReader(input), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || tbl.Len() != 3 {
+		t.Fatalf("imported %d", n)
+	}
+	row, _ := tbl.Row(0)
+	if row[0].AsInt() != 1 || row[2].AsString() != "bread" || row[1].AsFloat() != 2.5 {
+		t.Errorf("row 0 = %v", row)
+	}
+	row, _ = tbl.Row(1)
+	if !row[1].IsNull() {
+		t.Errorf("empty field not NULL: %v", row[1])
+	}
+	row, _ = tbl.Row(2)
+	if !row[3].IsNull() || !row[2].IsNull() {
+		t.Errorf("row 2 nulls wrong: %v", row)
+	}
+}
+
+func TestImportTableErrors(t *testing.T) {
+	schema := salesSchema(t)
+	cases := []string{
+		"",                           // missing header
+		"nope,id\n1,2\n",             // unknown column
+		"id\nxyz\n",                  // bad int
+		"amount\nxyz\n",              // bad float
+		"at\nnot-a-date\n",           // bad time
+		"id,amount\n1,2.0,3.0,4.0\n", // too many fields is a csv arity error
+	}
+	for _, in := range cases {
+		tbl, _ := NewTable("sales", schema)
+		if _, err := ImportTable(strings.NewReader(in), tbl); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestImportTableBool(t *testing.T) {
+	schema, _ := NewSchema(Column{Name: "flag", Kind: KindBool})
+	tbl, _ := NewTable("flags", schema)
+	n, err := ImportTable(strings.NewReader("flag\ntrue\nno\n1\n"), tbl)
+	if err != nil || n != 3 {
+		t.Fatalf("%d, %v", n, err)
+	}
+	r0, _ := tbl.Row(0)
+	r1, _ := tbl.Row(1)
+	r2, _ := tbl.Row(2)
+	if !r0[0].AsBool() || r1[0].AsBool() || !r2[0].AsBool() {
+		t.Errorf("bool parsing wrong: %v %v %v", r0[0], r1[0], r2[0])
+	}
+	tbl2, _ := NewTable("flags2", schema)
+	if _, err := ImportTable(strings.NewReader("flag\nmaybe\n"), tbl2); err == nil {
+		t.Error("bad bool accepted")
+	}
+}

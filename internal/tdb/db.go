@@ -1,0 +1,260 @@
+package tdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+)
+
+// File extensions used inside a database directory.
+const (
+	extTable = ".rel"
+	extTx    = ".txn"
+	dictFile = "items.dict"
+)
+
+// DB is a named collection of relational tables and transaction
+// tables, sharing one item dictionary. With a directory it persists;
+// with an empty dir it is memory-only. It is the substitute for the
+// Oracle instance behind the paper's IQMS prototype.
+type DB struct {
+	dir string
+
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	txtables map[string]*TxTable
+	dict     *itemset.Dict
+}
+
+// NewMemDB returns an in-memory database.
+func NewMemDB() *DB {
+	return &DB{
+		tables:   make(map[string]*Table),
+		txtables: make(map[string]*TxTable),
+		dict:     itemset.NewDict(),
+	}
+}
+
+// Open loads (or initialises) a database directory. Files that fail
+// their checksum abort the open with a descriptive error rather than
+// silently dropping data.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tdb: open %s: %w", dir, err)
+	}
+	db := NewMemDB()
+	db.dir = dir
+
+	dictPath := filepath.Join(dir, dictFile)
+	if _, err := os.Stat(dictPath); err == nil {
+		dict, err := LoadDict(dictPath)
+		if err != nil {
+			return nil, err
+		}
+		db.dict = dict
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tdb: open %s: %w", dir, err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		switch {
+		case strings.HasSuffix(ent.Name(), extTable):
+			t, err := LoadTable(path)
+			if err != nil {
+				return nil, err
+			}
+			db.tables[strings.ToLower(t.Name())] = t
+		case strings.HasSuffix(ent.Name(), extTx):
+			t, err := LoadTxTable(path)
+			if err != nil {
+				return nil, err
+			}
+			db.txtables[strings.ToLower(t.Name())] = t
+		}
+	}
+	return db, nil
+}
+
+// Dict returns the shared item dictionary.
+func (db *DB) Dict() *itemset.Dict { return db.dict }
+
+// Dir returns the backing directory ("" for memory-only).
+func (db *DB) Dir() string { return db.dir }
+
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("tdb: empty table name")
+	}
+	for _, r := range name {
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+			return fmt.Errorf("tdb: table name %q contains %q; use letters, digits and underscores", name, r)
+		}
+	}
+	return nil
+}
+
+// CreateTable adds an empty relational table.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	key := strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("tdb: table %q already exists", name)
+	}
+	if _, ok := db.txtables[key]; ok {
+		return nil, fmt.Errorf("tdb: a transaction table named %q already exists", name)
+	}
+	t, err := NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[key] = t
+	return t, nil
+}
+
+// CreateTxTable adds an empty transaction table.
+func (db *DB) CreateTxTable(name string) (*TxTable, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	key := strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.txtables[key]; ok {
+		return nil, fmt.Errorf("tdb: transaction table %q already exists", name)
+	}
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("tdb: a relational table named %q already exists", name)
+	}
+	t, err := NewTxTable(name)
+	if err != nil {
+		return nil, err
+	}
+	db.txtables[key] = t
+	return t, nil
+}
+
+// Table looks a relational table up by name (case-insensitive).
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TxTable looks a transaction table up by name (case-insensitive).
+func (db *DB) TxTable(name string) (*TxTable, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.txtables[strings.ToLower(name)]
+	return t, ok
+}
+
+// RegisterTable adds an existing relational table (used by loaders and
+// by AsTable materialisation).
+func (db *DB) RegisterTable(t *Table) error {
+	key := strings.ToLower(t.Name())
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[key]; ok {
+		return fmt.Errorf("tdb: table %q already exists", t.Name())
+	}
+	db.tables[key] = t
+	return nil
+}
+
+// Drop removes a table of either kind; it reports whether anything was
+// removed. Persisted files are deleted as well.
+func (db *DB) Drop(name string) (bool, error) {
+	key := strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[key]; ok {
+		delete(db.tables, key)
+		if db.dir != "" {
+			if err := removeIfExists(filepath.Join(db.dir, key+extTable)); err != nil {
+				return true, err
+			}
+		}
+		return true, nil
+	}
+	if _, ok := db.txtables[key]; ok {
+		delete(db.txtables, key)
+		if db.dir != "" {
+			if err := removeIfExists(filepath.Join(db.dir, key+extTx)); err != nil {
+				return true, err
+			}
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func removeIfExists(path string) error {
+	err := os.Remove(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Names lists all table names (both kinds), sorted.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables)+len(db.txtables))
+	for _, t := range db.tables {
+		out = append(out, t.Name())
+	}
+	for _, t := range db.txtables {
+		out = append(out, t.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsTxTable reports whether name refers to a transaction table.
+func (db *DB) IsTxTable(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.txtables[strings.ToLower(name)]
+	return ok
+}
+
+// Flush persists every table and the dictionary. Memory-only databases
+// return an error.
+func (db *DB) Flush() error {
+	if db.dir == "" {
+		return fmt.Errorf("tdb: Flush on a memory-only database")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if err := SaveDict(db.dict, filepath.Join(db.dir, dictFile)); err != nil {
+		return err
+	}
+	for key, t := range db.tables {
+		if err := SaveTable(t, filepath.Join(db.dir, key+extTable)); err != nil {
+			return err
+		}
+	}
+	for key, t := range db.txtables {
+		if err := SaveTxTable(t, filepath.Join(db.dir, key+extTx)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package tdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// Segmented persistence: a transaction table is split into fixed-width
+// time segments, one checksummed file per segment plus a manifest.
+// Appending new data and saving again rewrites only the segments whose
+// contents changed — on an append-mostly table that is the final
+// segment — pairing with core.(*HoldTable).Extend for an end-to-end
+// incremental pipeline.
+//
+// Layout of a segment directory:
+//
+//	<dir>/manifest           (TDBM: granularity, width, table name, per-segment counts)
+//	<dir>/00000000042.seg    (TDBS: the transactions of segment 42)
+//
+// A segment covers granules [index·width, (index+1)·width) at the
+// manifest's granularity. Segment indices may be negative (pre-epoch
+// data); file names use a +1e9 offset to stay sortable and positive.
+
+const (
+	magicManifest = "TDBM"
+	magicSegment  = "TDBS"
+	segNameOffset = int64(1_000_000_000)
+)
+
+// SegmentConfig fixes how a table is partitioned on disk.
+type SegmentConfig struct {
+	// Granularity of the segment grid (often coarser than the mining
+	// granularity, e.g. Month segments for Day mining).
+	Granularity timegran.Granularity
+	// Width is the number of granules per segment (e.g. 1 Month).
+	Width int
+}
+
+func (c SegmentConfig) validate() error {
+	if !c.Granularity.Valid() {
+		return fmt.Errorf("tdb: segment granularity %d invalid", int(c.Granularity))
+	}
+	if c.Width < 1 {
+		return fmt.Errorf("tdb: segment width %d must be ≥ 1", c.Width)
+	}
+	return nil
+}
+
+// segIndex maps an instant to its segment.
+func (c SegmentConfig) segIndex(at time.Time) int64 {
+	g := timegran.GranuleOf(at, c.Granularity)
+	if g >= 0 {
+		return g / int64(c.Width)
+	}
+	return (g - int64(c.Width) + 1) / int64(c.Width)
+}
+
+func segFileName(idx int64) string {
+	return fmt.Sprintf("%011d.seg", idx+segNameOffset)
+}
+
+// SegmentSaveStats reports what a segmented save did.
+type SegmentSaveStats struct {
+	Written, Skipped int
+}
+
+// SaveTxTableSegmented writes t into dir under cfg. Segments whose
+// transaction count matches the manifest are skipped (old segments of
+// an append-only table never change, so count equality identifies
+// them); changed or new segments are rewritten atomically, and the
+// manifest is updated last.
+func SaveTxTableSegmented(t *TxTable, dir string, cfg SegmentConfig) (SegmentSaveStats, error) {
+	var stats SegmentSaveStats
+	if err := cfg.validate(); err != nil {
+		return stats, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return stats, fmt.Errorf("tdb: segment dir %s: %w", dir, err)
+	}
+
+	// Previous manifest (absent on first save).
+	oldCounts := map[int64]int64{}
+	manifestPath := filepath.Join(dir, "manifest")
+	if _, err := os.Stat(manifestPath); err == nil {
+		m, err := loadManifest(manifestPath)
+		if err != nil {
+			return stats, err
+		}
+		if m.cfg != cfg {
+			return stats, fmt.Errorf("tdb: segment dir %s uses %v×%d, save requested %v×%d",
+				dir, m.cfg.Granularity, m.cfg.Width, cfg.Granularity, cfg.Width)
+		}
+		oldCounts = m.counts
+	}
+
+	// Partition transactions by segment (table order is time order).
+	type segment struct {
+		idx int64
+		txs []Tx
+	}
+	var segs []segment
+	t.Each(func(tx Tx) bool {
+		idx := cfg.segIndex(tx.At)
+		if n := len(segs); n == 0 || segs[n-1].idx != idx {
+			segs = append(segs, segment{idx: idx})
+		}
+		segs[len(segs)-1].txs = append(segs[len(segs)-1].txs, tx)
+		return true
+	})
+
+	newCounts := make(map[int64]int64, len(segs))
+	for _, seg := range segs {
+		newCounts[seg.idx] = int64(len(seg.txs))
+		if oldCounts[seg.idx] == int64(len(seg.txs)) {
+			stats.Skipped++
+			continue
+		}
+		if err := writeSegment(filepath.Join(dir, segFileName(seg.idx)), seg.idx, seg.txs); err != nil {
+			return stats, err
+		}
+		stats.Written++
+	}
+	// Segments that vanished (data deleted) are removed.
+	for idx := range oldCounts {
+		if _, ok := newCounts[idx]; !ok {
+			if err := removeIfExists(filepath.Join(dir, segFileName(idx))); err != nil {
+				return stats, err
+			}
+		}
+	}
+	if err := writeManifest(manifestPath, t.Name(), t.nextIDSnapshot(), cfg, newCounts); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// nextIDSnapshot reads the id counter under the lock.
+func (t *TxTable) nextIDSnapshot() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nextID
+}
+
+// LoadTxTableSegmented reads a segment directory back into a table.
+// Every referenced segment must be present and pass its checksum.
+func LoadTxTableSegmented(dir string) (*TxTable, SegmentConfig, error) {
+	m, err := loadManifest(filepath.Join(dir, "manifest"))
+	if err != nil {
+		return nil, SegmentConfig{}, err
+	}
+	tbl, err := NewTxTable(m.table)
+	if err != nil {
+		return nil, SegmentConfig{}, err
+	}
+	idxs := make([]int64, 0, len(m.counts))
+	for idx := range m.counts {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	var txs []Tx
+	for _, idx := range idxs {
+		segTxs, err := readSegment(filepath.Join(dir, segFileName(idx)), idx)
+		if err != nil {
+			return nil, SegmentConfig{}, err
+		}
+		if int64(len(segTxs)) != m.counts[idx] {
+			return nil, SegmentConfig{}, fmt.Errorf("tdb: segment %d has %d transactions, manifest says %d",
+				idx, len(segTxs), m.counts[idx])
+		}
+		txs = append(txs, segTxs...)
+	}
+	tbl.txs = txs
+	tbl.nextID = m.nextID
+	tbl.sorted = false
+	return tbl, m.cfg, nil
+}
+
+type manifest struct {
+	table  string
+	nextID int64
+	cfg    SegmentConfig
+	counts map[int64]int64
+}
+
+func writeManifest(path, table string, nextID int64, cfg SegmentConfig, counts map[int64]int64) error {
+	e := &encoder{}
+	e.buf.WriteString(magicManifest)
+	e.u32(fmtVersion)
+	e.str(table)
+	e.i64(nextID)
+	e.u8(uint8(cfg.Granularity))
+	e.u32(uint32(cfg.Width))
+	idxs := make([]int64, 0, len(counts))
+	for idx := range counts {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	e.u32(uint32(len(idxs)))
+	for _, idx := range idxs {
+		e.i64(idx)
+		e.i64(counts[idx])
+	}
+	return writeAtomic(path, e.buf.Bytes())
+}
+
+func loadManifest(path string) (*manifest, error) {
+	d, err := readChecked(path, magicManifest)
+	if err != nil {
+		return nil, err
+	}
+	m := &manifest{counts: map[int64]int64{}}
+	m.table = d.str()
+	m.nextID = d.i64()
+	m.cfg.Granularity = timegran.Granularity(d.u8())
+	m.cfg.Width = int(d.u32())
+	n := int(d.u32())
+	for i := 0; i < n && d.err == nil; i++ {
+		idx := d.i64()
+		m.counts[idx] = d.i64()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := m.cfg.validate(); err != nil {
+		return nil, fmt.Errorf("tdb: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+func writeSegment(path string, idx int64, txs []Tx) error {
+	e := &encoder{}
+	e.buf.WriteString(magicSegment)
+	e.u32(fmtVersion)
+	e.i64(idx)
+	e.u64(uint64(len(txs)))
+	for _, tx := range txs {
+		e.i64(tx.ID)
+		e.i64(tx.At.UnixNano())
+		e.u32(uint32(len(tx.Items)))
+		for _, it := range tx.Items {
+			e.u32(uint32(it))
+		}
+	}
+	return writeAtomic(path, e.buf.Bytes())
+}
+
+func readSegment(path string, wantIdx int64) ([]Tx, error) {
+	d, err := readChecked(path, magicSegment)
+	if err != nil {
+		return nil, err
+	}
+	if idx := d.i64(); idx != wantIdx {
+		return nil, fmt.Errorf("tdb: %s: segment index %d, want %d", path, idx, wantIdx)
+	}
+	n := d.u64()
+	txs := make([]Tx, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		id := d.i64()
+		at := d.i64()
+		ni := int(d.u32())
+		if d.err != nil {
+			break
+		}
+		if ni < 0 || d.off+4*ni > len(d.b) {
+			return nil, fmt.Errorf("tdb: %s: implausible item count %d", path, ni)
+		}
+		items := make([]itemset.Item, ni)
+		for j := range items {
+			items[j] = itemset.Item(d.u32())
+		}
+		set := itemset.Set(items)
+		if !set.Valid() {
+			return nil, fmt.Errorf("tdb: %s: non-canonical itemset in transaction %d", path, id)
+		}
+		txs = append(txs, Tx{ID: id, At: time.Unix(0, at).UTC(), Items: set})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("tdb: %s: %d trailing bytes", path, len(d.b)-d.off)
+	}
+	return txs, nil
+}

@@ -1,0 +1,413 @@
+package tdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+)
+
+// On-disk format. Every file is
+//
+//	magic(4) version(u32) body... crc32(u32 over magic..body)
+//
+// written atomically via a temp file and rename, so readers never see a
+// half-written table. Corruption (truncation, bit flips) is detected by
+// the trailing CRC before any content is trusted.
+const (
+	magicTable = "TDBT"
+	magicTx    = "TDBX"
+	magicDict  = "TDBD"
+	fmtVersion = 1
+)
+
+type encoder struct {
+	buf bytes.Buffer
+}
+
+func (e *encoder) u8(v uint8) { e.buf.WriteByte(v) }
+func (e *encoder) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.buf.Write(b[:])
+}
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf.Write(b[:])
+}
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *encoder) str(s string)  { e.u32(uint32(len(s))); e.buf.WriteString(s) }
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("tdb: truncated file reading %s at offset %d", what, d.off)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// writeAtomic writes body+CRC to path via a temp file and rename.
+func writeAtomic(path string, body []byte) error {
+	sum := crc32.ChecksumIEEE(body)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("tdb: create %s: %w", tmp, err)
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(body); err == nil {
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], sum)
+		_, err = w.Write(crc[:])
+		if err == nil {
+			err = w.Flush()
+		}
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("tdb: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("tdb: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tdb: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tdb: rename %s: %w", tmp, err)
+	}
+	return nil
+}
+
+// readChecked loads a file, validates the trailing CRC and the magic,
+// and returns the body after the magic+version header.
+func readChecked(path, magic string) (*decoder, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tdb: read %s: %w", path, err)
+	}
+	if len(raw) < len(magic)+8 {
+		return nil, fmt.Errorf("tdb: %s: file too short (%d bytes)", path, len(raw))
+	}
+	body, crcBytes := raw[:len(raw)-4], raw[len(raw)-4:]
+	want := binary.LittleEndian.Uint32(crcBytes)
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("tdb: %s: checksum mismatch (file corrupt)", path)
+	}
+	d := &decoder{b: body}
+	if got := string(body[:4]); got != magic {
+		return nil, fmt.Errorf("tdb: %s: bad magic %q, want %q", path, got, magic)
+	}
+	d.off = 4
+	if v := d.u32(); v != fmtVersion {
+		return nil, fmt.Errorf("tdb: %s: unsupported format version %d", path, v)
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------
+// Relational tables.
+
+func encodeValue(e *encoder, v Value) {
+	e.u8(uint8(v.K))
+	switch v.K {
+	case KindNull:
+	case KindInt, KindBool, KindTime:
+		e.i64(v.i)
+	case KindFloat:
+		e.f64(v.f)
+	case KindString:
+		e.str(v.s)
+	}
+}
+
+func decodeValue(d *decoder) Value {
+	k := Kind(d.u8())
+	switch k {
+	case KindNull:
+		return Null()
+	case KindInt:
+		return Int(d.i64())
+	case KindBool:
+		return Value{K: KindBool, i: d.i64()}
+	case KindTime:
+		return Value{K: KindTime, i: d.i64()}
+	case KindFloat:
+		return Float(d.f64())
+	case KindString:
+		return Str(d.str())
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("tdb: unknown value kind %d at offset %d", k, d.off)
+		}
+		return Null()
+	}
+}
+
+// SaveTable writes t to path.
+func SaveTable(t *Table, path string) error {
+	e := &encoder{}
+	e.buf.WriteString(magicTable)
+	e.u32(fmtVersion)
+	e.str(t.name)
+	e.u32(uint32(len(t.schema.Cols)))
+	for _, c := range t.schema.Cols {
+		e.str(c.Name)
+		e.u8(uint8(c.Kind))
+	}
+	t.mu.RLock()
+	e.u64(uint64(len(t.rows)))
+	for _, row := range t.rows {
+		for _, v := range row {
+			encodeValue(e, v)
+		}
+	}
+	t.mu.RUnlock()
+	return writeAtomic(path, e.buf.Bytes())
+}
+
+// LoadTable reads a table written by SaveTable.
+func LoadTable(path string) (*Table, error) {
+	d, err := readChecked(path, magicTable)
+	if err != nil {
+		return nil, err
+	}
+	name := d.str()
+	ncols := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ncols <= 0 || ncols > 1<<16 {
+		return nil, fmt.Errorf("tdb: %s: implausible column count %d", path, ncols)
+	}
+	cols := make([]Column, ncols)
+	for i := range cols {
+		cols[i] = Column{Name: d.str(), Kind: Kind(d.u8())}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("tdb: %s: %w", path, err)
+	}
+	t, err := NewTable(name, schema)
+	if err != nil {
+		return nil, fmt.Errorf("tdb: %s: %w", path, err)
+	}
+	nrows := d.u64()
+	for i := uint64(0); i < nrows && d.err == nil; i++ {
+		row := make(Row, ncols)
+		for c := range row {
+			row[c] = decodeValue(d)
+		}
+		if d.err == nil {
+			if err := t.Insert(row); err != nil {
+				return nil, fmt.Errorf("tdb: %s: %w", path, err)
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("tdb: %s: %d trailing bytes", path, len(d.b)-d.off)
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------
+// Transaction tables.
+
+// SaveTxTable writes t to path.
+func SaveTxTable(t *TxTable, path string) error {
+	t.ensureSorted()
+	e := &encoder{}
+	e.buf.WriteString(magicTx)
+	e.u32(fmtVersion)
+	e.str(t.name)
+	t.mu.RLock()
+	e.i64(t.nextID)
+	e.u64(uint64(len(t.txs)))
+	for _, tx := range t.txs {
+		e.i64(tx.ID)
+		e.i64(tx.At.UnixNano())
+		e.u32(uint32(len(tx.Items)))
+		for _, it := range tx.Items {
+			e.u32(uint32(it))
+		}
+	}
+	t.mu.RUnlock()
+	return writeAtomic(path, e.buf.Bytes())
+}
+
+// LoadTxTable reads a transaction table written by SaveTxTable.
+func LoadTxTable(path string) (*TxTable, error) {
+	d, err := readChecked(path, magicTx)
+	if err != nil {
+		return nil, err
+	}
+	name := d.str()
+	nextID := d.i64()
+	n := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	t, err := NewTxTable(name)
+	if err != nil {
+		return nil, fmt.Errorf("tdb: %s: %w", path, err)
+	}
+	txs := make([]Tx, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		id := d.i64()
+		at := d.i64()
+		ni := int(d.u32())
+		if d.err != nil {
+			break
+		}
+		if ni < 0 || d.off+4*ni > len(d.b) {
+			return nil, fmt.Errorf("tdb: %s: implausible item count %d", path, ni)
+		}
+		items := make([]itemset.Item, ni)
+		for j := range items {
+			items[j] = itemset.Item(d.u32())
+		}
+		set := itemset.Set(items)
+		if !set.Valid() {
+			return nil, fmt.Errorf("tdb: %s: transaction %d has non-canonical itemset", path, id)
+		}
+		txs = append(txs, Tx{ID: id, At: time.Unix(0, at).UTC(), Items: set})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("tdb: %s: %d trailing bytes", path, len(d.b)-d.off)
+	}
+	t.txs = txs
+	t.nextID = nextID
+	t.sorted = false // validate ordering lazily on first use
+	return t, nil
+}
+
+// ---------------------------------------------------------------------
+// Item dictionaries.
+
+// SaveDict writes a dictionary to path.
+func SaveDict(dict *itemset.Dict, path string) error {
+	e := &encoder{}
+	e.buf.WriteString(magicDict)
+	e.u32(fmtVersion)
+	names := dict.SortedNames(false) // identifier order
+	e.u32(uint32(len(names)))
+	for _, n := range names {
+		e.str(n)
+	}
+	return writeAtomic(path, e.buf.Bytes())
+}
+
+// LoadDict reads a dictionary written by SaveDict. Identifiers are
+// reassigned in the saved order, so ids are stable across reloads.
+func LoadDict(path string) (*itemset.Dict, error) {
+	d, err := readChecked(path, magicDict)
+	if err != nil {
+		return nil, err
+	}
+	n := int(d.u32())
+	dict := itemset.NewDict()
+	for i := 0; i < n && d.err == nil; i++ {
+		dict.Intern(d.str())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("tdb: %s: %d trailing bytes", path, len(d.b)-d.off)
+	}
+	if dict.Len() != n {
+		return nil, fmt.Errorf("tdb: %s: dictionary contains duplicate names", path)
+	}
+	return dict, nil
+}
+
+// CopyFile is a small helper used by tests and tools to snapshot
+// database files.
+func CopyFile(dst, src string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

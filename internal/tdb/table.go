@@ -1,0 +1,230 @@
+package tdb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns with unique, case-insensitive
+// names.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema validates column names and kinds.
+func NewSchema(cols ...Column) (Schema, error) {
+	if len(cols) == 0 {
+		return Schema{}, fmt.Errorf("tdb: schema needs at least one column")
+	}
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		name := strings.ToLower(c.Name)
+		if name == "" {
+			return Schema{}, fmt.Errorf("tdb: empty column name")
+		}
+		if seen[name] {
+			return Schema{}, fmt.Errorf("tdb: duplicate column %q", c.Name)
+		}
+		if c.Kind < KindInt || c.Kind > KindTime {
+			return Schema{}, fmt.Errorf("tdb: column %q has invalid type %v", c.Name, c.Kind)
+		}
+		seen[name] = true
+	}
+	out := make([]Column, len(cols))
+	copy(out, cols)
+	return Schema{Cols: out}, nil
+}
+
+// ColIndex returns the position of the named column (case-insensitive),
+// or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders "(name type, ...)".
+func (s Schema) String() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = c.Name + " " + c.Kind.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Row is one tuple; len(Row) always equals the schema width.
+type Row []Value
+
+// Table is an in-memory relational table with an append/scan API. It
+// is safe for concurrent readers with a single writer guarded
+// internally.
+type Table struct {
+	name   string
+	schema Schema
+
+	mu   sync.RWMutex
+	rows []Row
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("tdb: empty table name")
+	}
+	if len(schema.Cols) == 0 {
+		return nil, fmt.Errorf("tdb: table %q needs a schema", name)
+	}
+	return &Table{name: name, schema: schema}, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the current row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// checkRow validates arity and type compatibility (NULL fits any
+// column; ints are accepted into float columns and widened).
+func (t *Table) checkRow(row Row) (Row, error) {
+	if len(row) != len(t.schema.Cols) {
+		return nil, fmt.Errorf("tdb: table %s: row has %d values, schema %d", t.name, len(row), len(t.schema.Cols))
+	}
+	out := make(Row, len(row))
+	for i, v := range row {
+		col := t.schema.Cols[i]
+		switch {
+		case v.IsNull():
+			out[i] = v
+		case v.K == col.Kind:
+			out[i] = v
+		case v.K == KindInt && col.Kind == KindFloat:
+			out[i] = Float(float64(v.AsInt()))
+		default:
+			return nil, fmt.Errorf("tdb: table %s: column %q wants %v, got %v", t.name, col.Name, col.Kind, v.K)
+		}
+	}
+	return out, nil
+}
+
+// Insert appends a row after validation.
+func (t *Table) Insert(row Row) error {
+	checked, err := t.checkRow(row)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.rows = append(t.rows, checked)
+	t.mu.Unlock()
+	return nil
+}
+
+// Scan calls fn for each row in insertion order until fn returns
+// false. The row is shared; fn must not modify or retain it.
+func (t *Table) Scan(fn func(row Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Delete removes the rows for which match returns true and reports how
+// many were removed. match must not retain or modify the row. On any
+// error the table is left unchanged (predicates are evaluated for every
+// row before anything moves).
+func (t *Table) Delete(match func(row Row) (bool, error)) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	drop := make([]bool, len(t.rows))
+	removed := 0
+	for i, r := range t.rows {
+		m, err := match(r)
+		if err != nil {
+			return 0, err
+		}
+		if m {
+			drop[i] = true
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	w := 0
+	for i, r := range t.rows {
+		if !drop[i] {
+			t.rows[w] = r
+			w++
+		}
+	}
+	t.rows = t.rows[:w]
+	return removed, nil
+}
+
+// Update applies fn to the rows for which match returns true. fn
+// returns the replacement row, which is validated against the schema.
+// On any error the table is left unchanged.
+func (t *Table) Update(match func(row Row) (bool, error), fn func(row Row) (Row, error)) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Two-phase: compute all replacements first so a mid-way error
+	// cannot leave a half-updated table.
+	type change struct {
+		idx int
+		row Row
+	}
+	var changes []change
+	for i, r := range t.rows {
+		m, err := match(r)
+		if err != nil {
+			return 0, err
+		}
+		if !m {
+			continue
+		}
+		replacement, err := fn(r)
+		if err != nil {
+			return 0, err
+		}
+		checked, err := t.checkRow(replacement)
+		if err != nil {
+			return 0, err
+		}
+		changes = append(changes, change{idx: i, row: checked})
+	}
+	for _, c := range changes {
+		t.rows[c.idx] = c.row
+	}
+	return len(changes), nil
+}
+
+// Row returns a copy of row i.
+func (t *Table) Row(i int) (Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i < 0 || i >= len(t.rows) {
+		return nil, fmt.Errorf("tdb: table %s: row %d out of range [0,%d)", t.name, i, len(t.rows))
+	}
+	out := make(Row, len(t.rows[i]))
+	copy(out, t.rows[i])
+	return out, nil
+}

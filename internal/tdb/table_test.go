@@ -1,0 +1,178 @@
+package tdb
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func salesSchema(t *testing.T) Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "amount", Kind: KindFloat},
+		Column{Name: "product", Kind: KindString},
+		Column{Name: "at", Kind: KindTime},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewSchema(Column{Name: "", Kind: KindInt}); err == nil {
+		t.Error("empty column name accepted")
+	}
+	if _, err := NewSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "A", Kind: KindInt}); err == nil {
+		t.Error("case-insensitive duplicate accepted")
+	}
+	if _, err := NewSchema(Column{Name: "a", Kind: KindNull}); err == nil {
+		t.Error("null-typed column accepted")
+	}
+}
+
+func TestSchemaColIndexAndString(t *testing.T) {
+	s := salesSchema(t)
+	if s.ColIndex("Product") != 2 || s.ColIndex("nope") != -1 {
+		t.Error("ColIndex broken")
+	}
+	if !strings.Contains(s.String(), "amount float") {
+		t.Errorf("Schema String = %q", s.String())
+	}
+}
+
+func TestTableInsertScan(t *testing.T) {
+	tbl, err := NewTable("sales", salesSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2024, 1, 2, 0, 0, 0, 0, time.UTC)
+	rows := []Row{
+		{Int(1), Float(9.5), Str("bread"), Time(at)},
+		{Int(2), Int(3), Str("milk"), Time(at.Add(time.Hour))}, // int→float widening
+		{Int(3), Null(), Str("eggs"), Time(at)},
+	}
+	for _, r := range rows {
+		if err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	got, err := tbl.Row(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].K != KindFloat || got[1].AsFloat() != 3.0 {
+		t.Errorf("int not widened to float: %v", got[1])
+	}
+	var seen int
+	tbl.Scan(func(Row) bool { seen++; return true })
+	if seen != 3 {
+		t.Errorf("Scan visited %d", seen)
+	}
+	seen = 0
+	tbl.Scan(func(Row) bool { seen++; return false })
+	if seen != 1 {
+		t.Errorf("early-stop Scan visited %d", seen)
+	}
+	if _, err := tbl.Row(99); err == nil {
+		t.Error("out of range row accepted")
+	}
+}
+
+func TestTableInsertErrors(t *testing.T) {
+	tbl, _ := NewTable("sales", salesSchema(t))
+	if err := tbl.Insert(Row{Int(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tbl.Insert(Row{Str("x"), Float(1), Str("y"), Time(time.Now())}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, err := NewTable("", salesSchema(t)); err == nil {
+		t.Error("empty table name accepted")
+	}
+	if _, err := NewTable("x", Schema{}); err == nil {
+		t.Error("empty schema accepted")
+	}
+}
+
+func TestTableDelete(t *testing.T) {
+	tbl, _ := NewTable("sales", salesSchema(t))
+	for i := 0; i < 6; i++ {
+		tbl.Insert(Row{Int(int64(i)), Float(float64(i)), Str("x"), Null()})
+	}
+	n, err := tbl.Delete(func(r Row) (bool, error) { return r[0].AsInt()%2 == 0, nil })
+	if err != nil || n != 3 {
+		t.Fatalf("Delete = %d, %v", n, err)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	tbl.Scan(func(r Row) bool {
+		if r[0].AsInt()%2 == 0 {
+			t.Errorf("even row %v survived", r[0])
+		}
+		return true
+	})
+	// Error aborts without mutation.
+	boom := func(Row) (bool, error) { return false, os.ErrInvalid }
+	if _, err := tbl.Delete(boom); err == nil {
+		t.Error("error not propagated")
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("failed delete mutated table: %d", tbl.Len())
+	}
+	// No matches is a no-op.
+	n, err = tbl.Delete(func(Row) (bool, error) { return false, nil })
+	if err != nil || n != 0 {
+		t.Errorf("no-op delete = %d, %v", n, err)
+	}
+}
+
+func TestTableUpdate(t *testing.T) {
+	tbl, _ := NewTable("sales", salesSchema(t))
+	for i := 0; i < 4; i++ {
+		tbl.Insert(Row{Int(int64(i)), Float(1), Str("x"), Null()})
+	}
+	n, err := tbl.Update(
+		func(r Row) (bool, error) { return r[0].AsInt() >= 2, nil },
+		func(r Row) (Row, error) {
+			out := make(Row, len(r))
+			copy(out, r)
+			out[1] = Float(9)
+			return out, nil
+		},
+	)
+	if err != nil || n != 2 {
+		t.Fatalf("Update = %d, %v", n, err)
+	}
+	r2, _ := tbl.Row(2)
+	r0, _ := tbl.Row(0)
+	if r2[1].AsFloat() != 9 || r0[1].AsFloat() != 1 {
+		t.Errorf("update applied wrongly: %v %v", r0[1], r2[1])
+	}
+	// Schema violation aborts everything.
+	_, err = tbl.Update(
+		func(Row) (bool, error) { return true, nil },
+		func(r Row) (Row, error) {
+			out := make(Row, len(r))
+			copy(out, r)
+			out[0] = Str("bad")
+			return out, nil
+		},
+	)
+	if err == nil {
+		t.Fatal("schema violation accepted")
+	}
+	r0, _ = tbl.Row(0)
+	if r0[0].K != KindInt {
+		t.Error("failed update mutated table")
+	}
+}

@@ -1,0 +1,254 @@
+package tdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// Tx is one timestamped transaction: a basket of items observed at an
+// instant. The temporal miners never look below this abstraction.
+type Tx struct {
+	ID    int64
+	At    time.Time
+	Items itemset.Set
+}
+
+// TxTable stores timestamped transactions ordered by time, with the
+// granule-restricted scan API the temporal miners run on. Appends may
+// arrive out of order; the table keeps itself sorted (stably, so equal
+// timestamps preserve arrival order).
+type TxTable struct {
+	name string
+
+	mu     sync.RWMutex
+	txs    []Tx
+	sorted bool
+	nextID int64
+}
+
+// NewTxTable creates an empty transaction table.
+func NewTxTable(name string) (*TxTable, error) {
+	if name == "" {
+		return nil, fmt.Errorf("tdb: empty transaction table name")
+	}
+	return &TxTable{name: name, sorted: true}, nil
+}
+
+// Name returns the table name.
+func (t *TxTable) Name() string { return t.name }
+
+// Len returns the number of transactions.
+func (t *TxTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.txs)
+}
+
+// Append stores a transaction and returns its assigned ID. The items
+// are canonicalised defensively.
+func (t *TxTable) Append(at time.Time, items itemset.Set) int64 {
+	if !items.Valid() {
+		items = itemset.New(items...)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID
+	t.nextID++
+	if n := len(t.txs); n > 0 && t.txs[n-1].At.After(at) {
+		t.sorted = false
+	}
+	t.txs = append(t.txs, Tx{ID: id, At: at.UTC(), Items: items})
+	return id
+}
+
+// ensureSorted sorts by timestamp if out-of-order appends happened.
+// Callers must hold no lock; it takes the write lock itself.
+func (t *TxTable) ensureSorted() {
+	t.mu.RLock()
+	ok := t.sorted
+	t.mu.RUnlock()
+	if ok {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.sorted {
+		sort.SliceStable(t.txs, func(i, j int) bool { return t.txs[i].At.Before(t.txs[j].At) })
+		t.sorted = true
+	}
+}
+
+// Span returns the granule interval covered by the data at granularity
+// g; ok is false when the table is empty.
+func (t *TxTable) Span(g timegran.Granularity) (timegran.Interval, bool) {
+	t.ensureSorted()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.txs) == 0 {
+		return timegran.Interval{}, false
+	}
+	lo := timegran.GranuleOf(t.txs[0].At, g)
+	hi := timegran.GranuleOf(t.txs[len(t.txs)-1].At, g)
+	return timegran.Interval{Lo: lo, Hi: hi}, true
+}
+
+// rowRange returns the half-open index range [i, j) of transactions
+// whose granule at g lies in iv. Requires the table sorted.
+func (t *TxTable) rowRange(g timegran.Granularity, iv timegran.Interval) (int, int) {
+	startT := timegran.Start(iv.Lo, g)
+	endT := timegran.Start(iv.Hi+1, g)
+	i := sort.Search(len(t.txs), func(i int) bool { return !t.txs[i].At.Before(startT) })
+	j := sort.Search(len(t.txs), func(i int) bool { return !t.txs[i].At.Before(endT) })
+	return i, j
+}
+
+// CountRange returns the number of transactions whose granule lies in
+// iv at granularity g.
+func (t *TxTable) CountRange(g timegran.Granularity, iv timegran.Interval) int {
+	t.ensureSorted()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i, j := t.rowRange(g, iv)
+	return j - i
+}
+
+// GranuleCounts returns the transaction count of every granule in
+// span, indexed by g - span.Lo. The temporal miners use it to size
+// per-granule thresholds.
+func (t *TxTable) GranuleCounts(g timegran.Granularity, span timegran.Interval) []int {
+	t.ensureSorted()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	counts := make([]int, span.Len())
+	i, j := t.rowRange(g, span)
+	for ; i < j; i++ {
+		n := timegran.GranuleOf(t.txs[i].At, g)
+		counts[n-span.Lo]++
+	}
+	return counts
+}
+
+// RangeSource exposes the transactions of the granule interval iv as a
+// mining source. The view is cheap (no copying) and repeatable.
+func (t *TxTable) RangeSource(g timegran.Granularity, iv timegran.Interval) apriori.Source {
+	t.ensureSorted()
+	t.mu.RLock()
+	i, j := t.rowRange(g, iv)
+	t.mu.RUnlock()
+	return apriori.FuncSource{
+		N: j - i,
+		Scan: func(fn func(tx itemset.Set)) {
+			t.mu.RLock()
+			defer t.mu.RUnlock()
+			for k := i; k < j; k++ {
+				fn(t.txs[k].Items)
+			}
+		},
+	}
+}
+
+// GranuleSource exposes a single granule's transactions.
+func (t *TxTable) GranuleSource(g timegran.Granularity, n timegran.Granule) apriori.Source {
+	return t.RangeSource(g, timegran.Interval{Lo: n, Hi: n})
+}
+
+// SetSource exposes the union of an IntervalSet's granules.
+func (t *TxTable) SetSource(g timegran.Granularity, set timegran.IntervalSet) apriori.Source {
+	t.ensureSorted()
+	type span struct{ i, j int }
+	var spans []span
+	n := 0
+	t.mu.RLock()
+	for _, iv := range set.Intervals() {
+		i, j := t.rowRange(g, iv)
+		if j > i {
+			spans = append(spans, span{i, j})
+			n += j - i
+		}
+	}
+	t.mu.RUnlock()
+	return apriori.FuncSource{
+		N: n,
+		Scan: func(fn func(tx itemset.Set)) {
+			t.mu.RLock()
+			defer t.mu.RUnlock()
+			for _, sp := range spans {
+				for k := sp.i; k < sp.j; k++ {
+					fn(t.txs[k].Items)
+				}
+			}
+		},
+	}
+}
+
+// All exposes the entire table as a mining source (the traditional,
+// time-agnostic view).
+func (t *TxTable) All() apriori.Source {
+	t.ensureSorted()
+	return apriori.FuncSource{
+		N: t.Len(),
+		Scan: func(fn func(tx itemset.Set)) {
+			t.mu.RLock()
+			defer t.mu.RUnlock()
+			for _, tx := range t.txs {
+				fn(tx.Items)
+			}
+		},
+	}
+}
+
+// Each iterates transactions in time order; fn returning false stops.
+func (t *TxTable) Each(fn func(tx Tx) bool) {
+	t.ensureSorted()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, tx := range t.txs {
+		if !fn(tx) {
+			return
+		}
+	}
+}
+
+// AsTable materialises a relational view (tid, at, item) with one row
+// per (transaction, item) pair, so the SQL side of IQMS can query the
+// raw basket data like the paper's Oracle prototype did.
+func (t *TxTable) AsTable(dict *itemset.Dict) (*Table, error) {
+	schema, err := NewSchema(
+		Column{Name: "tid", Kind: KindInt},
+		Column{Name: "at", Kind: KindTime},
+		Column{Name: "item", Kind: KindString},
+	)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := NewTable(t.name+"_items", schema)
+	if err != nil {
+		return nil, err
+	}
+	var insertErr error
+	t.Each(func(tx Tx) bool {
+		for _, it := range tx.Items {
+			name := fmt.Sprintf("#%d", it)
+			if dict != nil {
+				if n, err := dict.Name(it); err == nil {
+					name = n
+				}
+			}
+			if err := tbl.Insert(Row{Int(tx.ID), Time(tx.At), Str(name)}); err != nil {
+				insertErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if insertErr != nil {
+		return nil, insertErr
+	}
+	return tbl, nil
+}

@@ -1,0 +1,172 @@
+package tdb
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+func dayTx(t *testing.T, tbl *TxTable, y int, m time.Month, d int, items ...itemset.Item) {
+	t.Helper()
+	tbl.Append(time.Date(y, m, d, 10, 0, 0, 0, time.UTC), itemset.New(items...))
+}
+
+func buildTxTable(t *testing.T) *TxTable {
+	t.Helper()
+	tbl, err := NewTxTable("baskets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately out of time order.
+	dayTx(t, tbl, 2024, time.January, 3, 1, 2)
+	dayTx(t, tbl, 2024, time.January, 1, 1, 2, 3)
+	dayTx(t, tbl, 2024, time.January, 2, 2, 3)
+	dayTx(t, tbl, 2024, time.January, 1, 1, 3)
+	dayTx(t, tbl, 2024, time.February, 10, 4)
+	return tbl
+}
+
+func TestTxTableSortingAndSpan(t *testing.T) {
+	tbl := buildTxTable(t)
+	if tbl.Len() != 5 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	var last time.Time
+	tbl.Each(func(tx Tx) bool {
+		if tx.At.Before(last) {
+			t.Fatalf("transactions not sorted: %v after %v", tx.At, last)
+		}
+		last = tx.At
+		return true
+	})
+	span, ok := tbl.Span(timegran.Day)
+	if !ok {
+		t.Fatal("Span on non-empty table not ok")
+	}
+	wantLo := timegran.GranuleOf(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC), timegran.Day)
+	wantHi := timegran.GranuleOf(time.Date(2024, 2, 10, 0, 0, 0, 0, time.UTC), timegran.Day)
+	if span.Lo != wantLo || span.Hi != wantHi {
+		t.Errorf("Span = %v, want [%d,%d]", span, wantLo, wantHi)
+	}
+	empty, _ := NewTxTable("e")
+	if _, ok := empty.Span(timegran.Day); ok {
+		t.Error("Span on empty table ok")
+	}
+}
+
+func TestTxTableGranuleSources(t *testing.T) {
+	tbl := buildTxTable(t)
+	jan1 := timegran.GranuleOf(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC), timegran.Day)
+
+	src := tbl.GranuleSource(timegran.Day, jan1)
+	if src.Len() != 2 {
+		t.Fatalf("Jan 1 source has %d transactions", src.Len())
+	}
+	f, err := apriori.Mine(src, apriori.Config{MinCount: 2, MinSupport: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Support(itemset.New(1, 3)) != 2 {
+		t.Errorf("support({1,3}) on Jan 1 = %d, want 2", f.Support(itemset.New(1, 3)))
+	}
+
+	r := tbl.RangeSource(timegran.Day, timegran.Interval{Lo: jan1, Hi: jan1 + 2})
+	if r.Len() != 4 {
+		t.Errorf("Jan 1-3 range has %d transactions, want 4", r.Len())
+	}
+
+	counts := tbl.GranuleCounts(timegran.Day, timegran.Interval{Lo: jan1, Hi: jan1 + 3})
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 || counts[3] != 0 {
+		t.Errorf("GranuleCounts = %v", counts)
+	}
+
+	if n := tbl.CountRange(timegran.Day, timegran.Interval{Lo: jan1, Hi: jan1}); n != 2 {
+		t.Errorf("CountRange = %d", n)
+	}
+
+	set := timegran.NewIntervalSet(
+		timegran.Interval{Lo: jan1, Hi: jan1},
+		timegran.Interval{Lo: jan1 + 2, Hi: jan1 + 2},
+	)
+	ss := tbl.SetSource(timegran.Day, set)
+	if ss.Len() != 3 {
+		t.Errorf("SetSource has %d transactions, want 3", ss.Len())
+	}
+	var seen int
+	ss.ForEach(func(itemset.Set) { seen++ })
+	if seen != 3 {
+		t.Errorf("SetSource scan visited %d", seen)
+	}
+
+	all := tbl.All()
+	if all.Len() != 5 {
+		t.Errorf("All has %d", all.Len())
+	}
+}
+
+func TestTxTableMonthGranularity(t *testing.T) {
+	tbl := buildTxTable(t)
+	jan := timegran.GranuleOf(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC), timegran.Month)
+	feb := jan + 1
+	if n := tbl.GranuleSource(timegran.Month, jan).Len(); n != 4 {
+		t.Errorf("January month source has %d", n)
+	}
+	if n := tbl.GranuleSource(timegran.Month, feb).Len(); n != 1 {
+		t.Errorf("February month source has %d", n)
+	}
+}
+
+func TestTxTableAppendCanonicalises(t *testing.T) {
+	tbl, _ := NewTxTable("x")
+	tbl.Append(time.Now(), itemset.Set{3, 1, 1}) // invalid raw set
+	tbl.Each(func(tx Tx) bool {
+		if !tx.Items.Valid() {
+			t.Errorf("stored non-canonical itemset %v", tx.Items)
+		}
+		return true
+	})
+}
+
+func TestTxTableAsTable(t *testing.T) {
+	tbl := buildTxTable(t)
+	dict := itemset.NewDict()
+	for _, n := range []string{"bread", "milk", "butter", "eggs", "jam"} {
+		dict.Intern(n)
+	}
+	rel, err := tbl.AsTable(dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3+2+2+2+1 = 10 item rows.
+	if rel.Len() != 10 {
+		t.Errorf("AsTable rows = %d, want 10", rel.Len())
+	}
+	foundJam := false
+	rel.Scan(func(row Row) bool {
+		if row[2].AsString() == "jam" {
+			foundJam = true
+		}
+		return true
+	})
+	// item 4 = "jam" (ids 0-based: bread=0 … jam=4)
+	if !foundJam {
+		t.Error("item name not resolved through dict")
+	}
+	relNoDict, err := tbl.AsTable(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawHash := false
+	relNoDict.Scan(func(row Row) bool {
+		if row[2].AsString() == "#4" {
+			sawHash = true
+		}
+		return true
+	})
+	if !sawHash {
+		t.Error("nil dict should render #id names")
+	}
+}

@@ -1,0 +1,107 @@
+package tdb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null not null")
+	}
+	if Int(7).AsInt() != 7 || Int(7).K != KindInt {
+		t.Error("Int broken")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float broken")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("int AsFloat broken")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("Str broken")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool broken")
+	}
+	at := time.Date(2024, 6, 1, 12, 0, 0, 0, time.UTC)
+	if !Time(at).AsTime().Equal(at) {
+		t.Error("Time round trip broken")
+	}
+	if !Int(1).Numeric() || !Float(1).Numeric() || Str("").Numeric() {
+		t.Error("Numeric classification broken")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Float(2.5), 1},
+		{Float(1.5), Int(2), -1},
+		{Str("a"), Str("b"), -1},
+		{Bool(false), Bool(true), -1},
+		{Time(time.Unix(1, 0)), Time(time.Unix(2, 0)), -1},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v,%v) = %d,%v want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := Str("a").Compare(Int(1)); err == nil {
+		t.Error("string vs int compared")
+	}
+	if Str("a").Equal(Int(1)) {
+		t.Error("incomparable values equal")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if Int(5).String() != "5" {
+		t.Error("int String")
+	}
+	if Str("o'brien").String() != "'o''brien'" {
+		t.Errorf("string quoting: %q", Str("o'brien").String())
+	}
+	if Bool(true).String() != "TRUE" || Bool(false).String() != "FALSE" {
+		t.Error("bool String")
+	}
+	if Null().String() != "NULL" {
+		t.Error("null String")
+	}
+	if Str("x").Display() != "x" {
+		t.Error("string Display keeps quotes")
+	}
+	at := time.Date(2024, 6, 1, 12, 30, 0, 0, time.UTC)
+	if Time(at).Display() != "2024-06-01 12:30:00" {
+		t.Errorf("time Display = %q", Time(at).Display())
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"int": KindInt, "INTEGER": KindInt, "bigint": KindInt,
+		"float": KindFloat, "NUMBER": KindFloat,
+		"varchar2": KindString, "text": KindString,
+		"bool": KindBool, "timestamp": KindTime, "date": KindTime,
+	}
+	for in, want := range cases {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v,%v want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("blob accepted")
+	}
+	if KindInt.String() != "int" || Kind(42).String() == "" {
+		t.Error("Kind.String broken")
+	}
+}

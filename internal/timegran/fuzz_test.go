@@ -1,0 +1,70 @@
+package timegran
+
+import (
+	"testing"
+)
+
+// FuzzParsePattern checks the pattern parser never panics and that
+// anything it accepts round-trips through String.
+func FuzzParsePattern(f *testing.F) {
+	seeds := []string{
+		"month in (jun..aug)",
+		"weekday in (sat, sun) and hour in (18..20)",
+		"every 7 offset 5",
+		"between 1998-01-01 and 1998-07-01",
+		"not (month in (6..8)) or every 2 offset 1",
+		"always",
+		"month in (6§8)",
+		"((((",
+		"every 99999999999999999999",
+		"between 1998-01-01 09:00 and 1998-01-01 12:00",
+		"'quoted thing'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParsePattern(input)
+		if err != nil {
+			return
+		}
+		printed := p.String()
+		p2, err := ParsePattern(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own print %q: %v", input, printed, err)
+		}
+		// Spot-check agreement on a few granules.
+		for _, g := range []Granule{0, 1, 100, 10000, -5} {
+			if p.Matches(Day, g) != p2.Matches(Day, g) {
+				t.Fatalf("%q and its reprint disagree at %d", input, g)
+			}
+		}
+	})
+}
+
+// FuzzGranuleRoundTrip checks Start/GranuleOf stay inverse across the
+// whole time axis and all granularities.
+func FuzzGranuleRoundTrip(f *testing.F) {
+	f.Add(int64(0), uint8(3))
+	f.Add(int64(-86400), uint8(4))
+	f.Add(int64(1<<35), uint8(7))
+	f.Fuzz(func(t *testing.T, sec int64, g uint8) {
+		gran := Granularity(g % 8)
+		// Clamp to a few hundred millennia to avoid time.Time overflow.
+		if sec > 1<<43 {
+			sec = 1 << 43
+		}
+		if sec < -(1 << 43) {
+			sec = -(1 << 43)
+		}
+		at := unixUTC(sec)
+		n := GranuleOf(at, gran)
+		s, e := Start(n, gran), End(n, gran)
+		if at.Before(s) || !at.Before(e) {
+			t.Fatalf("%v: %v outside [%v, %v)", gran, at, s, e)
+		}
+		if GranuleOf(s, gran) != n {
+			t.Fatalf("%v: granule %d not stable under Start", gran, n)
+		}
+	})
+}

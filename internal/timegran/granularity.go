@@ -1,0 +1,174 @@
+// Package timegran implements the time model of the temporal mining
+// system: granularities, granules, intervals of granules, and the
+// calendar algebra used to express temporal features (periodicities and
+// specific calendars).
+//
+// The time axis is discretised at a chosen *granularity* (hour, day,
+// week, month, …). A *granule* is one unit of that granularity,
+// identified by its index relative to the Unix epoch in UTC — granule 0
+// at Day granularity is 1970-01-01, granule 1 is 1970-01-02, and
+// negative indices address times before the epoch. All of the temporal
+// miners reason over granule indices; conversion to and from wall-clock
+// time happens only at the edges.
+package timegran
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Granularity is a calendar unit used to discretise the time axis.
+type Granularity int
+
+// The supported granularities, coarsest last.
+const (
+	Second Granularity = iota
+	Minute
+	Hour
+	Day
+	Week
+	Month
+	Quarter
+	Year
+)
+
+var granNames = [...]string{"second", "minute", "hour", "day", "week", "month", "quarter", "year"}
+
+// String returns the lowercase name, e.g. "day".
+func (g Granularity) String() string {
+	if g < Second || g > Year {
+		return fmt.Sprintf("Granularity(%d)", int(g))
+	}
+	return granNames[g]
+}
+
+// Valid reports whether g is one of the defined granularities.
+func (g Granularity) Valid() bool { return g >= Second && g <= Year }
+
+// ParseGranularity parses a granularity name (case-insensitive; an
+// optional trailing "s" is accepted, so "days" works).
+func ParseGranularity(s string) (Granularity, error) {
+	n := strings.ToLower(strings.TrimSpace(s))
+	n = strings.TrimSuffix(n, "s")
+	for i, name := range granNames {
+		if n == name {
+			return Granularity(i), nil
+		}
+	}
+	return 0, fmt.Errorf("timegran: unknown granularity %q", s)
+}
+
+// floorDiv is integer division rounding toward negative infinity, so
+// that granule indices are monotone across the epoch.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Granule is the index of one unit of a granularity since the Unix
+// epoch (UTC). It is a plain int64 so interval arithmetic stays cheap.
+type Granule = int64
+
+// GranuleOf returns the granule containing t at granularity g.
+// The computation is in UTC: the mining system, like the paper's
+// prototype, assumes timestamps are stored normalised.
+func GranuleOf(t time.Time, g Granularity) Granule {
+	u := t.UTC()
+	switch g {
+	case Second:
+		return u.Unix()
+	case Minute:
+		return floorDiv(u.Unix(), 60)
+	case Hour:
+		return floorDiv(u.Unix(), 3600)
+	case Day:
+		return floorDiv(u.Unix(), 86400)
+	case Week:
+		// Weeks start on Monday. 1970-01-01 was a Thursday, so shifting
+		// the day index by 3 aligns week boundaries with Mondays.
+		return floorDiv(floorDiv(u.Unix(), 86400)+3, 7)
+	case Month:
+		return int64(u.Year()-1970)*12 + int64(u.Month()-1)
+	case Quarter:
+		return int64(u.Year()-1970)*4 + int64(u.Month()-1)/3
+	case Year:
+		return int64(u.Year() - 1970)
+	default:
+		panic(fmt.Sprintf("timegran: GranuleOf with invalid granularity %d", int(g)))
+	}
+}
+
+// Start returns the first instant of granule n at granularity g (UTC).
+func Start(n Granule, g Granularity) time.Time {
+	switch g {
+	case Second:
+		return time.Unix(n, 0).UTC()
+	case Minute:
+		return time.Unix(n*60, 0).UTC()
+	case Hour:
+		return time.Unix(n*3600, 0).UTC()
+	case Day:
+		return time.Unix(n*86400, 0).UTC()
+	case Week:
+		return time.Unix((n*7-3)*86400, 0).UTC()
+	case Month:
+		y := 1970 + int(floorDiv(n, 12))
+		m := time.Month(n-int64(y-1970)*12) + 1
+		return time.Date(y, m, 1, 0, 0, 0, 0, time.UTC)
+	case Quarter:
+		y := 1970 + int(floorDiv(n, 4))
+		q := n - int64(y-1970)*4
+		return time.Date(y, time.Month(q*3+1), 1, 0, 0, 0, 0, time.UTC)
+	case Year:
+		return time.Date(1970+int(n), 1, 1, 0, 0, 0, 0, time.UTC)
+	default:
+		panic(fmt.Sprintf("timegran: Start with invalid granularity %d", int(g)))
+	}
+}
+
+// End returns the first instant *after* granule n at granularity g,
+// i.e. the start of granule n+1. The granule covers [Start, End).
+func End(n Granule, g Granularity) time.Time { return Start(n+1, g) }
+
+// Convert maps a granule to the granularity that contains its start
+// instant: Convert(week, Week, Day) is the week's Monday as a day
+// granule; Convert(day, Day, Month) is the containing month. Coarse →
+// fine conversions use the start instant, so information is never
+// invented.
+func Convert(n Granule, from, to Granularity) Granule {
+	if from == to {
+		return n
+	}
+	return GranuleOf(Start(n, from), to)
+}
+
+// FormatGranule renders a granule for humans, adapting the layout to
+// the granularity ("2024-06-03", "2024-06", "2024-W23", …).
+func FormatGranule(n Granule, g Granularity) string {
+	t := Start(n, g)
+	switch g {
+	case Second:
+		return t.Format("2006-01-02 15:04:05")
+	case Minute:
+		return t.Format("2006-01-02 15:04")
+	case Hour:
+		return t.Format("2006-01-02 15h")
+	case Day:
+		return t.Format("2006-01-02")
+	case Week:
+		y, w := t.ISOWeek()
+		return fmt.Sprintf("%04d-W%02d", y, w)
+	case Month:
+		return t.Format("2006-01")
+	case Quarter:
+		return fmt.Sprintf("%04d-Q%d", t.Year(), (int(t.Month())-1)/3+1)
+	case Year:
+		return t.Format("2006")
+	default:
+		return fmt.Sprintf("g%d", n)
+	}
+}

@@ -1,0 +1,177 @@
+package timegran
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+func TestGranuleOfKnownValues(t *testing.T) {
+	epoch := date(1970, time.January, 1)
+	cases := []struct {
+		t    time.Time
+		g    Granularity
+		want Granule
+	}{
+		{epoch, Second, 0},
+		{epoch, Day, 0},
+		{epoch, Month, 0},
+		{epoch, Year, 0},
+		{date(1970, time.January, 2), Day, 1},
+		{date(1969, time.December, 31), Day, -1},
+		{date(1970, time.February, 1), Month, 1},
+		{date(1969, time.December, 1), Month, -1},
+		{date(2000, time.January, 1), Year, 30},
+		{date(1970, time.April, 1), Quarter, 1},
+		{date(1969, time.October, 1), Quarter, -1},
+		// 1970-01-01 was a Thursday; the Monday-aligned week containing
+		// it spans 1969-12-29..1970-01-04 and has index 0.
+		{epoch, Week, 0},
+		{date(1970, time.January, 4), Week, 0},
+		{date(1970, time.January, 5), Week, 1},
+		{date(1969, time.December, 29), Week, 0},
+		{date(1969, time.December, 28), Week, -1},
+		{time.Date(1970, time.January, 1, 1, 30, 0, 0, time.UTC), Hour, 1},
+		{time.Date(1970, time.January, 1, 0, 1, 5, 0, time.UTC), Minute, 1},
+	}
+	for _, c := range cases {
+		if got := GranuleOf(c.t, c.g); got != c.want {
+			t.Errorf("GranuleOf(%v, %v) = %d, want %d", c.t, c.g, got, c.want)
+		}
+	}
+}
+
+func TestStartInvertsGranuleOf(t *testing.T) {
+	grans := []Granularity{Second, Minute, Hour, Day, Week, Month, Quarter, Year}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		// Random instants between 1960 and 2040.
+		sec := r.Int63n(int64(80*365*24*3600)) - int64(10*365*24*3600)
+		at := time.Unix(sec, 0).UTC()
+		for _, g := range grans {
+			n := GranuleOf(at, g)
+			s, e := Start(n, g), End(n, g)
+			if at.Before(s) || !at.Before(e) {
+				t.Fatalf("%v: %v not in [%v, %v) (granule %d)", g, at, s, e, n)
+			}
+			if GranuleOf(s, g) != n {
+				t.Fatalf("%v: GranuleOf(Start(%d)) = %d", g, n, GranuleOf(s, g))
+			}
+		}
+	}
+}
+
+func TestWeekStartsMonday(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		n := Granule(r.Int63n(5000) - 1000)
+		if wd := Start(n, Week).Weekday(); wd != time.Monday {
+			t.Fatalf("week %d starts on %v", n, wd)
+		}
+	}
+}
+
+func TestGranularityStringParse(t *testing.T) {
+	for g := Second; g <= Year; g++ {
+		parsed, err := ParseGranularity(g.String())
+		if err != nil || parsed != g {
+			t.Errorf("round trip of %v: %v, %v", g, parsed, err)
+		}
+	}
+	if g, err := ParseGranularity("Days"); err != nil || g != Day {
+		t.Errorf("ParseGranularity(Days) = %v, %v", g, err)
+	}
+	if _, err := ParseGranularity("fortnight"); err == nil {
+		t.Error("unknown granularity accepted")
+	}
+	if Granularity(99).String() == "" {
+		t.Error("invalid granularity has empty String")
+	}
+	if Granularity(99).Valid() {
+		t.Error("Granularity(99) claims to be valid")
+	}
+}
+
+func TestFormatGranule(t *testing.T) {
+	cases := []struct {
+		g    Granularity
+		n    Granule
+		want string
+	}{
+		{Day, 0, "1970-01-01"},
+		{Month, 5, "1970-06"},
+		{Year, 54, "2024"},
+		{Quarter, 2, "1970-Q3"},
+		{Hour, 25, "1970-01-02 01h"},
+	}
+	for _, c := range cases {
+		if got := FormatGranule(c.n, c.g); got != c.want {
+			t.Errorf("FormatGranule(%d, %v) = %q, want %q", c.n, c.g, got, c.want)
+		}
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {-8, 2, -4}, {0, 5, 0}, {-1, 86400, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestQuickGranulesAreMonotone(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63n(4e9) - 2e9)
+			vals[1] = reflect.ValueOf(r.Int63n(4e9) - 2e9)
+			vals[2] = reflect.ValueOf(Granularity(r.Intn(int(Year) + 1)))
+		},
+	}
+	law := func(a, b int64, g Granularity) bool {
+		ta, tb := time.Unix(a, 0).UTC(), time.Unix(b, 0).UTC()
+		if a > b {
+			ta, tb = tb, ta
+		}
+		return GranuleOf(ta, g) <= GranuleOf(tb, g)
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func unixUTC(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
+
+func TestConvert(t *testing.T) {
+	// The week containing 2024-06-05 (a Wednesday) starts Monday
+	// 2024-06-03.
+	day := GranuleOf(date(2024, time.June, 5), Day)
+	week := Convert(day, Day, Week)
+	if got := Start(week, Week); !got.Equal(date(2024, time.June, 3)) {
+		t.Errorf("week start = %v", got)
+	}
+	if Convert(week, Week, Day) != GranuleOf(date(2024, time.June, 3), Day) {
+		t.Errorf("week→day = %d", Convert(week, Week, Day))
+	}
+	if Convert(day, Day, Month) != GranuleOf(date(2024, time.June, 1), Month) {
+		t.Error("day→month wrong")
+	}
+	if Convert(day, Day, Day) != day {
+		t.Error("identity conversion changed the granule")
+	}
+	// Quarter of October is Q4.
+	oct := GranuleOf(date(2024, time.October, 20), Day)
+	q := Convert(oct, Day, Quarter)
+	if got := Start(q, Quarter); !got.Equal(date(2024, time.October, 1)) {
+		t.Errorf("quarter start = %v", got)
+	}
+}

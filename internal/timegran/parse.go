@@ -1,0 +1,350 @@
+package timegran
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// ParsePattern parses the textual calendar-algebra syntax used by the
+// TML DURING clause and the command-line tools:
+//
+//	expr    := term { "or" term }
+//	term    := factor { "and" factor }
+//	factor  := "not" factor | "(" expr ")" | atom
+//	atom    := FIELD "in" "(" list ")"
+//	         | "every" INT [ "offset" INT ]
+//	         | "between" DATE "and" DATE
+//	         | "always"
+//	FIELD   := year | month | weekday | day | hour
+//	list    := range { "," range }
+//	range   := VALUE [ ".." VALUE ]
+//	VALUE   := INT | month name (jan..dec) | weekday name (mon..sun)
+//	DATE    := 'YYYY-MM-DD' | 'YYYY-MM-DD HH:MM' (quotes optional)
+//
+// Examples:
+//
+//	month in (jun..aug)
+//	weekday in (sat, sun) and hour in (18..20)
+//	every 7 offset 5
+//	between 1998-01-01 and 1998-07-01
+func ParsePattern(input string) (Pattern, error) {
+	toks, err := lexPattern(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &patternParser{toks: toks}
+	pat, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("timegran: unexpected %q after pattern", p.peek().text)
+	}
+	return pat, nil
+}
+
+type patTok struct {
+	text string
+	pos  int
+}
+
+func lexPattern(s string) ([]patTok, error) {
+	var toks []patTok
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(' || c == ')' || c == ',':
+			toks = append(toks, patTok{string(c), i})
+			i++
+		case c == '.':
+			if i+1 < len(s) && s[i+1] == '.' {
+				toks = append(toks, patTok{"..", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("timegran: stray '.' at %d", i)
+			}
+		case c == '\'' || c == '"':
+			j := i + 1
+			for j < len(s) && rune(s[j]) != c {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("timegran: unterminated quote at %d", i)
+			}
+			toks = append(toks, patTok{s[i+1 : j], i})
+			i = j + 1
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == '-' || s[j] == ':') {
+				j++
+			}
+			// Dates may contain a time part separated by one space:
+			// "1998-01-01 09:00". Lookahead joins it when it looks like
+			// a clock time.
+			tok := s[i:j]
+			if strings.Count(tok, "-") == 2 && j < len(s) && s[j] == ' ' {
+				k := j + 1
+				for k < len(s) && (unicode.IsDigit(rune(s[k])) || s[k] == ':') {
+					k++
+				}
+				if strings.Contains(s[j+1:k], ":") {
+					tok = s[i:k]
+					j = k
+				}
+			}
+			toks = append(toks, patTok{tok, i})
+			i = j
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			j := i
+			for j < len(s) && (s[j] >= 'a' && s[j] <= 'z' || s[j] >= 'A' && s[j] <= 'Z' || unicode.IsDigit(rune(s[j]))) {
+				j++
+			}
+			toks = append(toks, patTok{strings.ToLower(s[i:j]), i})
+			i = j
+		default:
+			return nil, fmt.Errorf("timegran: unexpected character %q at %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+type patternParser struct {
+	toks []patTok
+	i    int
+}
+
+func (p *patternParser) atEnd() bool { return p.i >= len(p.toks) }
+
+func (p *patternParser) peek() patTok {
+	if p.atEnd() {
+		return patTok{text: "<end>", pos: -1}
+	}
+	return p.toks[p.i]
+}
+
+func (p *patternParser) next() patTok {
+	t := p.peek()
+	if !p.atEnd() {
+		p.i++
+	}
+	return t
+}
+
+func (p *patternParser) accept(text string) bool {
+	if !p.atEnd() && p.toks[p.i].text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *patternParser) expect(text string) error {
+	if p.accept(text) {
+		return nil
+	}
+	return fmt.Errorf("timegran: expected %q, found %q", text, p.peek().text)
+}
+
+func (p *patternParser) parseExpr() (Pattern, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Pattern{left}
+	for p.accept("or") {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return Or(terms), nil
+}
+
+func (p *patternParser) parseTerm() (Pattern, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	factors := []Pattern{left}
+	for p.accept("and") {
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		factors = append(factors, f)
+	}
+	if len(factors) == 1 {
+		return factors[0], nil
+	}
+	return And(factors), nil
+}
+
+func (p *patternParser) parseFactor() (Pattern, error) {
+	switch {
+	case p.accept("not"):
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not{P: inner}, nil
+	case p.accept("("):
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *patternParser) parseAtom() (Pattern, error) {
+	tok := p.next()
+	switch tok.text {
+	case "always":
+		return Always{}, nil
+	case "every":
+		return p.parseCycle()
+	case "between":
+		return p.parseWindow()
+	case "year", "month", "weekday", "day", "hour":
+		field, err := parseField(tok.text)
+		if err != nil {
+			return nil, err
+		}
+		return p.parseCalendar(field)
+	case "<end>":
+		return nil, fmt.Errorf("timegran: pattern ended where an atom was expected")
+	default:
+		return nil, fmt.Errorf("timegran: unexpected %q at %d", tok.text, tok.pos)
+	}
+}
+
+func parseField(name string) (CalField, error) {
+	for i, n := range fieldNames {
+		if name == n {
+			return CalField(i), nil
+		}
+	}
+	return 0, fmt.Errorf("timegran: unknown field %q", name)
+}
+
+func (p *patternParser) parseCycle() (Pattern, error) {
+	lenTok := p.next()
+	length, err := strconv.ParseInt(lenTok.text, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("timegran: cycle length %q is not an integer", lenTok.text)
+	}
+	var offset int64
+	if p.accept("offset") {
+		offTok := p.next()
+		offset, err = strconv.ParseInt(offTok.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("timegran: cycle offset %q is not an integer", offTok.text)
+		}
+	}
+	return NewCycle(length, offset)
+}
+
+// dateLayouts accepted by "between … and …".
+var dateLayouts = []string{"2006-01-02 15:04", "2006-01-02"}
+
+func parseDate(s string) (time.Time, error) {
+	for _, layout := range dateLayouts {
+		if t, err := time.ParseInLocation(layout, s, time.UTC); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("timegran: cannot parse date %q (want YYYY-MM-DD or YYYY-MM-DD HH:MM)", s)
+}
+
+func (p *patternParser) parseWindow() (Pattern, error) {
+	from, err := parseDate(p.next().text)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("and"); err != nil {
+		return nil, err
+	}
+	to, err := parseDate(p.next().text)
+	if err != nil {
+		return nil, err
+	}
+	return NewWindow(from, to)
+}
+
+func (p *patternParser) parseCalendar(field CalField) (Pattern, error) {
+	if err := p.expect("in"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var ranges []FieldRange
+	for {
+		lo, err := p.parseFieldValue(field)
+		if err != nil {
+			return nil, err
+		}
+		hi := lo
+		if p.accept("..") {
+			hi, err = p.parseFieldValue(field)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ranges = append(ranges, FieldRange{Lo: lo, Hi: hi})
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return NewCalendar(field, ranges...)
+}
+
+var monthNames = map[string]int{
+	"jan": 1, "feb": 2, "mar": 3, "apr": 4, "may": 5, "jun": 6,
+	"jul": 7, "aug": 8, "sep": 9, "oct": 10, "nov": 11, "dec": 12,
+}
+
+var weekdayNames = map[string]int{
+	"mon": 1, "tue": 2, "wed": 3, "thu": 4, "fri": 5, "sat": 6, "sun": 7,
+}
+
+func (p *patternParser) parseFieldValue(field CalField) (int, error) {
+	tok := p.next()
+	if n, err := strconv.Atoi(tok.text); err == nil {
+		return n, nil
+	}
+	name := tok.text
+	if len(name) > 3 {
+		name = name[:3]
+	}
+	switch field {
+	case FieldMonth:
+		if n, ok := monthNames[name]; ok {
+			return n, nil
+		}
+	case FieldWeekday:
+		if n, ok := weekdayNames[name]; ok {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("timegran: %q is not a valid %v value", tok.text, field)
+}

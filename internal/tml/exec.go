@@ -1,0 +1,381 @@
+package tml
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/core"
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/minisql"
+	"github.com/tarm-project/tarm/internal/prune"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// Executor runs MINE statements against a database. Results are
+// rendered as minisql.Result tables so the IQMS front end treats query
+// and mining output uniformly.
+type Executor struct {
+	db *tdb.DB
+}
+
+// NewExecutor wraps a database.
+func NewExecutor(db *tdb.DB) *Executor { return &Executor{db: db} }
+
+// Exec parses and runs one TML statement.
+func (e *Executor) Exec(input string) (*minisql.Result, error) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmt(stmt)
+}
+
+// ExecStmt runs a parsed MINE statement.
+func (e *Executor) ExecStmt(stmt *MineStmt) (*minisql.Result, error) {
+	tbl, ok := e.db.TxTable(stmt.Table)
+	if !ok {
+		if _, isRel := e.db.Table(stmt.Table); isRel {
+			return nil, fmt.Errorf("tml: %q is a relational table; MINE needs a transaction table", stmt.Table)
+		}
+		return nil, fmt.Errorf("tml: no transaction table named %q", stmt.Table)
+	}
+	cfg := core.Config{
+		Granularity:   stmt.Granularity,
+		MinSupport:    stmt.Support,
+		MinConfidence: stmt.Confidence,
+		MinFreq:       stmt.defaultFrequency(),
+		MaxK:          stmt.MaxSize,
+	}
+	switch stmt.Target {
+	case TargetRules:
+		if stmt.During == nil {
+			return e.execTraditional(tbl, stmt)
+		}
+		return e.execDuring(tbl, stmt, cfg)
+	case TargetPeriods:
+		return e.execPeriods(tbl, stmt, cfg)
+	case TargetCycles:
+		return e.execCycles(tbl, stmt, cfg)
+	case TargetCalendars:
+		return e.execCalendars(tbl, stmt, cfg)
+	case TargetHistory:
+		return e.execHistory(tbl, stmt, cfg)
+	default:
+		return nil, fmt.Errorf("tml: unknown target %v", stmt.Target)
+	}
+}
+
+// parseRuleSpec resolves "a, b => c" against the dictionary.
+func (e *Executor) parseRuleSpec(spec string) (ante, cons itemset.Set, err error) {
+	parts := strings.Split(spec, "=>")
+	if len(parts) != 2 {
+		return nil, nil, fmt.Errorf("tml: rule %q must have exactly one '=>'", spec)
+	}
+	side := func(s string) (itemset.Set, error) {
+		var items []itemset.Item
+		for _, name := range strings.Split(s, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			id, ok := e.db.Dict().Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("tml: unknown item %q", name)
+			}
+			items = append(items, id)
+		}
+		if len(items) == 0 {
+			return nil, fmt.Errorf("tml: rule side %q has no items", s)
+		}
+		return itemset.New(items...), nil
+	}
+	if ante, err = side(parts[0]); err != nil {
+		return nil, nil, err
+	}
+	if cons, err = side(parts[1]); err != nil {
+		return nil, nil, err
+	}
+	if ante.Intersect(cons).Len() != 0 {
+		return nil, nil, fmt.Errorf("tml: rule %q has overlapping sides", spec)
+	}
+	return ante, cons, nil
+}
+
+func (e *Executor) execHistory(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
+	ante, cons, err := e.parseRuleSpec(stmt.RuleSpec)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := core.RuleHistory(tbl, cfg, ante, cons)
+	if err != nil {
+		return nil, err
+	}
+	res := &minisql.Result{Cols: []string{"granule", "transactions", "count", "support", "confidence", "holds"}}
+	for _, s := range stats {
+		res.Rows = append(res.Rows, []tdb.Value{
+			tdb.Str(timegran.FormatGranule(s.Granule, stmt.Granularity)),
+			tdb.Int(int64(s.TxCount)),
+			tdb.Int(int64(s.Count)),
+			tdb.Float(s.Support),
+			tdb.Float(s.Confidence),
+			tdb.Bool(s.Holds),
+		})
+	}
+	return limitRows(res, stmt.Limit), nil
+}
+
+// names renders an itemset through the shared dictionary.
+func (e *Executor) names(s itemset.Set) string { return e.db.Dict().Names(s) }
+
+func limitRows(res *minisql.Result, limit int) *minisql.Result {
+	if limit >= 0 && len(res.Rows) > limit {
+		res.Rows = res.Rows[:limit]
+	}
+	return res
+}
+
+func ruleCells(e *Executor, r apriori.Rule) []tdb.Value {
+	return []tdb.Value{
+		tdb.Str(e.names(r.Antecedent)),
+		tdb.Str(e.names(r.Consequent)),
+		tdb.Float(r.Support),
+		tdb.Float(r.Confidence),
+	}
+}
+
+// pruneOptions builds the filter options of a statement; n is the
+// transaction population behind the rules' support fractions.
+func pruneOptions(stmt *MineStmt, n int) (prune.Options, bool) {
+	if stmt.PruneLift == 0 && stmt.PruneImprovement == 0 && stmt.PrunePValue == 0 {
+		return prune.Options{}, false
+	}
+	return prune.Options{
+		MinLift:        stmt.PruneLift,
+		MinImprovement: stmt.PruneImprovement,
+		MaxPValue:      stmt.PrunePValue,
+		N:              n,
+	}, true
+}
+
+func (e *Executor) execTraditional(tbl *tdb.TxTable, stmt *MineStmt) (*minisql.Result, error) {
+	rules, err := core.MineTraditional(tbl, stmt.Support, stmt.Confidence, stmt.MaxSize)
+	if err != nil {
+		return nil, err
+	}
+	if opt, ok := pruneOptions(stmt, tbl.Len()); ok {
+		rules, _, err = prune.Filter(rules, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence"}}
+	for _, r := range rules {
+		res.Rows = append(res.Rows, ruleCells(e, r))
+	}
+	return limitRows(res, stmt.Limit), nil
+}
+
+func (e *Executor) execDuring(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
+	rules, err := core.MineDuring(tbl, cfg, stmt.During)
+	if err != nil {
+		return nil, err
+	}
+	// For pruning, the population is the feature's sub-database; each
+	// rule carries its count and support, which reconstruct it.
+	if opt, ok := pruneOptions(stmt, 0); ok {
+		var kept []core.TemporalRule
+		for _, r := range rules {
+			n := 0
+			if r.Rule.Support > 0 {
+				n = int(float64(r.Rule.Count)/r.Rule.Support + 0.5)
+			}
+			o := opt
+			o.N = n
+			o.MinImprovement = 0 // needs the whole set; applied below
+			out, _, err := prune.Filter([]apriori.Rule{r.Rule}, o)
+			if err != nil {
+				return nil, err
+			}
+			if len(out) == 1 {
+				kept = append(kept, r)
+			}
+		}
+		if opt.MinImprovement > 0 {
+			flat := make([]apriori.Rule, len(kept))
+			for i, r := range kept {
+				flat[i] = r.Rule
+			}
+			surv, _, err := prune.Filter(flat, prune.Options{MinImprovement: opt.MinImprovement})
+			if err != nil {
+				return nil, err
+			}
+			keep := make(map[string]bool, len(surv))
+			for _, r := range surv {
+				keep[r.Key()] = true
+			}
+			var out []core.TemporalRule
+			for _, r := range kept {
+				if keep[r.Rule.Key()] {
+					out = append(out, r)
+				}
+			}
+			kept = out
+		}
+		rules = kept
+	}
+	res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence", "frequency", "during"}}
+	for _, r := range rules {
+		row := ruleCells(e, r.Rule)
+		row = append(row, tdb.Float(r.Freq), tdb.Str(stmt.DuringSrc))
+		res.Rows = append(res.Rows, row)
+	}
+	return limitRows(res, stmt.Limit), nil
+}
+
+func (e *Executor) execPeriods(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
+	rules, err := core.MineValidPeriods(tbl, cfg, core.PeriodConfig{MinLen: stmt.MinLength})
+	if err != nil {
+		return nil, err
+	}
+	res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence", "from", "to", "frequency"}}
+	for _, r := range rules {
+		row := ruleCells(e, r.Rule)
+		row = append(row,
+			tdb.Str(timegran.FormatGranule(r.Interval.Lo, r.Granularity)),
+			tdb.Str(timegran.FormatGranule(r.Interval.Hi, r.Granularity)),
+			tdb.Float(r.Freq),
+		)
+		res.Rows = append(res.Rows, row)
+	}
+	return limitRows(res, stmt.Limit), nil
+}
+
+func (e *Executor) execCycles(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
+	ccfg := core.CycleConfig{MaxLen: stmt.MaxLength, MinReps: stmt.MinReps}
+	rules, err := core.MineCycles(tbl, cfg, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence", "cycle", "frequency"}}
+	for _, r := range rules {
+		row := ruleCells(e, r.Rule)
+		row = append(row, tdb.Str(r.Cycle.String()), tdb.Float(r.Freq))
+		res.Rows = append(res.Rows, row)
+	}
+	return limitRows(res, stmt.Limit), nil
+}
+
+func (e *Executor) execCalendars(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
+	ccfg := core.CycleConfig{MinReps: stmt.MinReps}
+	rules, err := core.MineCalendarPeriodicities(tbl, cfg, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence", "calendar", "frequency"}}
+	for _, r := range rules {
+		row := ruleCells(e, r.Rule)
+		row = append(row, tdb.Str(r.Feature.String()), tdb.Float(r.Freq))
+		res.Rows = append(res.Rows, row)
+	}
+	return limitRows(res, stmt.Limit), nil
+}
+
+// Explain describes what a MINE statement would do without running it:
+// the canonical statement, the data span it would scan and the
+// effective thresholds. The IQMS session surfaces it as EXPLAIN MINE.
+func (e *Executor) Explain(stmt *MineStmt) (*minisql.Result, error) {
+	tbl, ok := e.db.TxTable(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("tml: no transaction table named %q", stmt.Table)
+	}
+	res := &minisql.Result{Cols: []string{"property", "value"}}
+	add := func(k, v string) {
+		res.Rows = append(res.Rows, []tdb.Value{tdb.Str(k), tdb.Str(v)})
+	}
+	add("statement", stmt.String())
+	add("task", taskName(stmt))
+	add("table", stmt.Table)
+	add("transactions", fmt.Sprint(tbl.Len()))
+	add("granularity", stmt.Granularity.String())
+	if span, ok := tbl.Span(stmt.Granularity); ok {
+		add("span", timegran.FormatGranule(span.Lo, stmt.Granularity)+".."+timegran.FormatGranule(span.Hi, stmt.Granularity))
+		add("granules", fmt.Sprint(span.Len()))
+		active := 0
+		for _, c := range tbl.GranuleCounts(stmt.Granularity, span) {
+			if c >= 1 {
+				active++
+			}
+		}
+		add("active granules", fmt.Sprint(active))
+		if stmt.During != nil {
+			covered := timegran.Granules(stmt.During, stmt.Granularity, span).Count()
+			add("feature granules", fmt.Sprint(covered))
+		}
+	} else {
+		add("span", "(empty table)")
+	}
+	add("min support (per granule)", fmt.Sprintf("%g", stmt.Support))
+	add("min confidence", fmt.Sprintf("%g", stmt.Confidence))
+	add("min frequency", fmt.Sprintf("%g", stmt.defaultFrequency()))
+	return res, nil
+}
+
+func taskName(stmt *MineStmt) string {
+	switch stmt.Target {
+	case TargetRules:
+		if stmt.During == nil {
+			return "traditional association rules (baseline)"
+		}
+		return "Task III: rules during a temporal feature"
+	case TargetPeriods:
+		return "Task I: valid period discovery"
+	case TargetCycles:
+		return "Task II: cyclic periodicity discovery"
+	case TargetCalendars:
+		return "Task II: calendar periodicity discovery"
+	default:
+		return stmt.Target.String()
+	}
+}
+
+// Session is the IQMS front end: one entry point that routes MINE
+// statements to the TML executor and everything else to the SQL
+// engine, over one shared database — the query-then-mine loop of the
+// paper's Figure 1.
+type Session struct {
+	DB  *tdb.DB
+	SQL *minisql.Engine
+	TML *Executor
+}
+
+// NewSession builds a session over db.
+func NewSession(db *tdb.DB) *Session {
+	return &Session{DB: db, SQL: minisql.NewEngine(db), TML: NewExecutor(db)}
+}
+
+// Exec runs one statement of either language. EXPLAIN MINE ... shows
+// the mining plan without executing it.
+func (s *Session) Exec(input string) (*minisql.Result, error) {
+	if rest, ok := stripExplain(input); ok {
+		stmt, err := Parse(rest)
+		if err != nil {
+			return nil, err
+		}
+		return s.TML.Explain(stmt)
+	}
+	if IsMineStatement(input) {
+		return s.TML.Exec(input)
+	}
+	return s.SQL.Exec(input)
+}
+
+// stripExplain detects "EXPLAIN MINE ..." and returns the MINE part.
+func stripExplain(input string) (string, bool) {
+	fields := strings.Fields(input)
+	if len(fields) >= 2 && strings.EqualFold(fields[0], "explain") && strings.EqualFold(fields[1], "mine") {
+		return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(input), fields[0])), true
+	}
+	return "", false
+}

@@ -1,0 +1,36 @@
+package tml
+
+import "testing"
+
+// FuzzParse checks the TML parser never panics and that accepted
+// statements survive a String round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`MINE RULES FROM baskets THRESHOLD SUPPORT 0.05 CONFIDENCE 0.6`,
+		`MINE RULES FROM b DURING 'month in (jun..aug)' THRESHOLD SUPPORT 0.1 CONFIDENCE 0.7 FREQUENCY 0.8`,
+		`MINE PERIODS FROM b AT GRANULARITY week THRESHOLD SUPPORT 0.05 CONFIDENCE 0.5 MIN LENGTH 3`,
+		`MINE CYCLES FROM b THRESHOLD SUPPORT 0.05 CONFIDENCE 0.5 MAX LENGTH 14 MIN REPS 3`,
+		`MINE CALENDARS FROM b THRESHOLD SUPPORT 0.05 CONFIDENCE 0.5`,
+		`MINE HISTORY FROM b RULE 'a => c' THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`,
+		`MINE RULES FROM b THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 PRUNE LIFT 1.2 PVALUE 0.01 LIMIT 5`,
+		`MINE RULES FROM`,
+		`mine rules from b threshold support .5 confidence .5`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		printed := stmt.String()
+		stmt2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own print %q: %v", input, printed, err)
+		}
+		if stmt2.Target != stmt.Target || stmt2.Table != stmt.Table {
+			t.Fatalf("round trip changed statement: %q -> %q", input, printed)
+		}
+	})
+}

@@ -1,0 +1,347 @@
+package tml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// tmlTok is a lexer token: a word (lowercased), a number, a quoted
+// string, or punctuation.
+type tmlTok struct {
+	kind tmlTokKind
+	text string
+	pos  int
+}
+
+type tmlTokKind int
+
+const (
+	tkEOF tmlTokKind = iota
+	tkWord
+	tkNumber
+	tkString
+)
+
+func (t tmlTok) String() string {
+	if t.kind == tkEOF {
+		return "<end of statement>"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+func isASCIILetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+
+func lexTML(s string) ([]tmlTok, error) {
+	var toks []tmlTok
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case unicode.IsSpace(rune(c)) || c == ';':
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			var sb strings.Builder
+			j := i + 1
+			for j < len(s) && s[j] != quote {
+				sb.WriteByte(s[j])
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("tml: unterminated string at %d", i)
+			}
+			toks = append(toks, tmlTok{tkString, sb.String(), i})
+			i = j + 1
+		case unicode.IsDigit(rune(c)) || c == '.':
+			j := i
+			for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == '.') {
+				j++
+			}
+			toks = append(toks, tmlTok{tkNumber, s[i:j], i})
+			i = j
+		case isASCIILetter(c) || c == '_':
+			j := i
+			for j < len(s) && (isASCIILetter(s[j]) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, tmlTok{tkWord, strings.ToLower(s[i:j]), i})
+			i = j
+		default:
+			// Identifiers are ASCII; anything else (including non-UTF-8
+			// bytes) is rejected rather than silently mangled.
+			return nil, fmt.Errorf("tml: unexpected character %q at %d", c, i)
+		}
+	}
+	return append(toks, tmlTok{kind: tkEOF, pos: len(s)}), nil
+}
+
+// IsMineStatement reports whether the input looks like TML (its first
+// word is MINE); the IQMS session uses it to route statements between
+// the TML executor and the SQL engine.
+func IsMineStatement(input string) bool {
+	fields := strings.Fields(strings.ToLower(input))
+	return len(fields) > 0 && fields[0] == "mine"
+}
+
+// Parse parses one MINE statement.
+func Parse(input string) (*MineStmt, error) {
+	toks, err := lexTML(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseMine()
+}
+
+type parser struct {
+	toks []tmlTok
+	i    int
+}
+
+func (p *parser) peek() tmlTok { return p.toks[p.i] }
+
+func (p *parser) next() tmlTok {
+	t := p.toks[p.i]
+	if t.kind != tkEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) acceptWord(w string) bool {
+	if t := p.peek(); t.kind == tkWord && t.text == w {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectWord(w string) error {
+	if p.acceptWord(w) {
+		return nil
+	}
+	return fmt.Errorf("tml: expected %q, found %v", strings.ToUpper(w), p.peek())
+}
+
+func (p *parser) number(what string) (float64, error) {
+	t := p.next()
+	if t.kind != tkNumber {
+		return 0, fmt.Errorf("tml: %s wants a number, found %v", what, t)
+	}
+	f, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("tml: bad number %q for %s", t.text, what)
+	}
+	return f, nil
+}
+
+func (p *parser) integer(what string) (int, error) {
+	f, err := p.number(what)
+	if err != nil {
+		return 0, err
+	}
+	n := int(f)
+	if float64(n) != f {
+		return 0, fmt.Errorf("tml: %s wants an integer, got %v", what, f)
+	}
+	return n, nil
+}
+
+func (p *parser) parseMine() (*MineStmt, error) {
+	if err := p.expectWord("mine"); err != nil {
+		return nil, err
+	}
+	stmt := &MineStmt{Granularity: timegran.Day, Limit: -1}
+	switch t := p.next(); t.text {
+	case "rules":
+		stmt.Target = TargetRules
+	case "periods":
+		stmt.Target = TargetPeriods
+	case "cycles":
+		stmt.Target = TargetCycles
+	case "calendars":
+		stmt.Target = TargetCalendars
+	case "history":
+		stmt.Target = TargetHistory
+	default:
+		return nil, fmt.Errorf("tml: expected RULES, PERIODS, CYCLES or CALENDARS, found %v", t)
+	}
+	if err := p.expectWord("from"); err != nil {
+		return nil, err
+	}
+	tbl := p.next()
+	if tbl.kind != tkWord {
+		return nil, fmt.Errorf("tml: expected a table name, found %v", tbl)
+	}
+	stmt.Table = tbl.text
+
+	seenThreshold := false
+	for {
+		t := p.peek()
+		if t.kind == tkEOF {
+			break
+		}
+		if t.kind != tkWord {
+			return nil, fmt.Errorf("tml: unexpected %v", t)
+		}
+		p.i++
+		switch t.text {
+		case "rule":
+			if stmt.Target != TargetHistory {
+				return nil, fmt.Errorf("tml: RULE applies only to MINE HISTORY")
+			}
+			s := p.next()
+			if s.kind != tkString {
+				return nil, fmt.Errorf("tml: RULE wants a quoted 'ante => cons', found %v", s)
+			}
+			stmt.RuleSpec = s.text
+		case "during":
+			if stmt.Target != TargetRules {
+				return nil, fmt.Errorf("tml: DURING applies only to MINE RULES")
+			}
+			s := p.next()
+			if s.kind != tkString {
+				return nil, fmt.Errorf("tml: DURING wants a quoted pattern, found %v", s)
+			}
+			pat, err := timegran.ParsePattern(s.text)
+			if err != nil {
+				return nil, err
+			}
+			stmt.During = pat
+			stmt.DuringSrc = s.text
+		case "at":
+			if err := p.expectWord("granularity"); err != nil {
+				return nil, err
+			}
+			g := p.next()
+			if g.kind != tkWord {
+				return nil, fmt.Errorf("tml: expected a granularity name, found %v", g)
+			}
+			gran, err := timegran.ParseGranularity(g.text)
+			if err != nil {
+				return nil, err
+			}
+			stmt.Granularity = gran
+		case "threshold":
+			seenThreshold = true
+			for more := true; more; {
+				switch {
+				case p.acceptWord("support"):
+					v, err := p.number("SUPPORT")
+					if err != nil {
+						return nil, err
+					}
+					stmt.Support = v
+				case p.acceptWord("confidence"):
+					v, err := p.number("CONFIDENCE")
+					if err != nil {
+						return nil, err
+					}
+					stmt.Confidence = v
+				case p.acceptWord("frequency"):
+					v, err := p.number("FREQUENCY")
+					if err != nil {
+						return nil, err
+					}
+					stmt.Frequency = v
+				default:
+					more = false
+				}
+			}
+		case "min":
+			switch {
+			case p.acceptWord("length"):
+				n, err := p.integer("MIN LENGTH")
+				if err != nil {
+					return nil, err
+				}
+				stmt.MinLength = n
+			case p.acceptWord("reps"):
+				n, err := p.integer("MIN REPS")
+				if err != nil {
+					return nil, err
+				}
+				stmt.MinReps = n
+			default:
+				return nil, fmt.Errorf("tml: MIN wants LENGTH or REPS, found %v", p.peek())
+			}
+		case "max":
+			switch {
+			case p.acceptWord("length"):
+				n, err := p.integer("MAX LENGTH")
+				if err != nil {
+					return nil, err
+				}
+				stmt.MaxLength = n
+			case p.acceptWord("size"):
+				n, err := p.integer("MAX SIZE")
+				if err != nil {
+					return nil, err
+				}
+				stmt.MaxSize = n
+			default:
+				return nil, fmt.Errorf("tml: MAX wants LENGTH or SIZE, found %v", p.peek())
+			}
+		case "prune":
+			if stmt.Target != TargetRules {
+				return nil, fmt.Errorf("tml: PRUNE applies only to MINE RULES")
+			}
+			saw := false
+			for more := true; more; {
+				switch {
+				case p.acceptWord("lift"):
+					v, err := p.number("PRUNE LIFT")
+					if err != nil {
+						return nil, err
+					}
+					stmt.PruneLift = v
+					saw = true
+				case p.acceptWord("improvement"):
+					v, err := p.number("PRUNE IMPROVEMENT")
+					if err != nil {
+						return nil, err
+					}
+					stmt.PruneImprovement = v
+					saw = true
+				case p.acceptWord("pvalue"):
+					v, err := p.number("PRUNE PVALUE")
+					if err != nil {
+						return nil, err
+					}
+					stmt.PrunePValue = v
+					saw = true
+				default:
+					more = false
+				}
+			}
+			if !saw {
+				return nil, fmt.Errorf("tml: PRUNE wants LIFT, IMPROVEMENT or PVALUE")
+			}
+		case "limit":
+			n, err := p.integer("LIMIT")
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("tml: LIMIT must be non-negative")
+			}
+			stmt.Limit = n
+		default:
+			return nil, fmt.Errorf("tml: unexpected clause %q", strings.ToUpper(t.text))
+		}
+	}
+	if !seenThreshold || stmt.Support <= 0 || stmt.Confidence <= 0 {
+		return nil, fmt.Errorf("tml: THRESHOLD SUPPORT and CONFIDENCE are required and must be positive")
+	}
+	if stmt.Target == TargetHistory && stmt.RuleSpec == "" {
+		return nil, fmt.Errorf("tml: MINE HISTORY requires a RULE 'ante => cons' clause")
+	}
+	if stmt.Support > 1 || stmt.Confidence > 1 || stmt.Frequency > 1 {
+		return nil, fmt.Errorf("tml: thresholds are fractions in (0,1]")
+	}
+	return stmt, nil
+}

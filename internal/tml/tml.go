@@ -1,0 +1,154 @@
+// Package tml implements the Temporal Mining Language, the kernel of
+// the integrated query-and-mining system (IQMS). The paper's prototype
+// integrated TML with Oracle SQL so a data miner could alternate
+// between querying (data understanding) and ad-hoc mining (task
+// execution) in one session; here TML statements run next to minisql
+// statements over the same tdb database.
+//
+// Statement forms, one per mining task:
+//
+//	MINE RULES FROM baskets
+//	     [DURING 'month in (jun..aug)']
+//	     [AT GRANULARITY day]
+//	     THRESHOLD SUPPORT 0.05 CONFIDENCE 0.6 [FREQUENCY 0.9]
+//	     [MAX SIZE 4] [LIMIT 20]
+//
+//	MINE PERIODS FROM baskets
+//	     [AT GRANULARITY day]
+//	     THRESHOLD SUPPORT 0.05 CONFIDENCE 0.6 [FREQUENCY 0.9]
+//	     [MIN LENGTH 3] [MAX SIZE 4] [LIMIT 20]
+//
+//	MINE CYCLES FROM baskets
+//	     [AT GRANULARITY day]
+//	     THRESHOLD SUPPORT 0.05 CONFIDENCE 0.6 [FREQUENCY 1.0]
+//	     [MAX LENGTH 31] [MIN REPS 2] [MAX SIZE 4] [LIMIT 20]
+//
+//	MINE CALENDARS FROM baskets
+//	     [AT GRANULARITY day]
+//	     THRESHOLD SUPPORT 0.05 CONFIDENCE 0.6 [FREQUENCY 1.0]
+//	     [MIN REPS 2] [MAX SIZE 4] [LIMIT 20]
+//
+// MINE RULES without DURING is the traditional, time-agnostic Apriori
+// run; with DURING it is Task III over the quoted calendar-algebra
+// pattern. PERIODS is Task I; CYCLES and CALENDARS are the two halves
+// of Task II.
+package tml
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// Target selects the mining task of a MINE statement.
+type Target int
+
+// The statement targets. TargetHistory is the result-analysis form:
+// MINE HISTORY FROM t RULE 'a, b => c' prints the rule's per-granule
+// support series instead of discovering anything.
+const (
+	TargetRules Target = iota
+	TargetPeriods
+	TargetCycles
+	TargetCalendars
+	TargetHistory
+)
+
+var targetNames = [...]string{"RULES", "PERIODS", "CYCLES", "CALENDARS", "HISTORY"}
+
+// String returns the TML spelling.
+func (t Target) String() string {
+	if t < TargetRules || t > TargetHistory {
+		return fmt.Sprintf("Target(%d)", int(t))
+	}
+	return targetNames[t]
+}
+
+// MineStmt is a parsed MINE statement.
+type MineStmt struct {
+	Target Target
+	Table  string
+	// During is the parsed DURING pattern (nil when absent); DuringSrc
+	// keeps the original text for reporting.
+	During    timegran.Pattern
+	DuringSrc string
+	// Granularity of the time axis; defaults to Day.
+	Granularity timegran.Granularity
+	// Thresholds. Support and Confidence are required; Frequency
+	// defaults to 1 for CYCLES/CALENDARS and 0.9 for PERIODS and
+	// DURING-rules.
+	Support, Confidence float64
+	Frequency           float64 // 0 = defaulted by target
+	// Task options (0 = defaults of the core package).
+	MinLength int // PERIODS: minimum period length
+	MaxLength int // CYCLES: maximum cycle length
+	MinReps   int // CYCLES/CALENDARS: minimum occurrences
+	MaxSize   int // bound on itemset size (MaxK)
+	Limit     int // -1 = no limit
+	// RuleSpec is the HISTORY target's rule, e.g. "coffee => croissant"
+	// (item names resolved against the database dictionary at execution).
+	RuleSpec string
+	// PruneLift / PruneImprovement / PrunePValue enable interestingness
+	// filters on MINE RULES output (0 = filter off).
+	PruneLift, PruneImprovement, PrunePValue float64
+}
+
+// String renders the statement back in TML syntax; Parse(s.String())
+// yields an equivalent statement (defaults are printed explicitly).
+func (m *MineStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MINE %s FROM %s", m.Target, m.Table)
+	if m.RuleSpec != "" {
+		fmt.Fprintf(&b, " RULE '%s'", m.RuleSpec)
+	}
+	if m.During != nil {
+		fmt.Fprintf(&b, " DURING '%s'", m.During.String())
+	}
+	fmt.Fprintf(&b, " AT GRANULARITY %s", m.Granularity)
+	fmt.Fprintf(&b, " THRESHOLD SUPPORT %g CONFIDENCE %g", m.Support, m.Confidence)
+	if m.Frequency > 0 {
+		fmt.Fprintf(&b, " FREQUENCY %g", m.Frequency)
+	}
+	if m.MinLength > 0 {
+		fmt.Fprintf(&b, " MIN LENGTH %d", m.MinLength)
+	}
+	if m.MaxLength > 0 {
+		fmt.Fprintf(&b, " MAX LENGTH %d", m.MaxLength)
+	}
+	if m.MinReps > 0 {
+		fmt.Fprintf(&b, " MIN REPS %d", m.MinReps)
+	}
+	if m.MaxSize > 0 {
+		fmt.Fprintf(&b, " MAX SIZE %d", m.MaxSize)
+	}
+	if m.PruneLift > 0 || m.PruneImprovement > 0 || m.PrunePValue > 0 {
+		b.WriteString(" PRUNE")
+		if m.PruneLift > 0 {
+			fmt.Fprintf(&b, " LIFT %g", m.PruneLift)
+		}
+		if m.PruneImprovement > 0 {
+			fmt.Fprintf(&b, " IMPROVEMENT %g", m.PruneImprovement)
+		}
+		if m.PrunePValue > 0 {
+			fmt.Fprintf(&b, " PVALUE %g", m.PrunePValue)
+		}
+	}
+	if m.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", m.Limit)
+	}
+	return b.String()
+}
+
+// defaultFrequency resolves the target-dependent frequency default.
+func (m *MineStmt) defaultFrequency() float64 {
+	if m.Frequency > 0 {
+		return m.Frequency
+	}
+	switch m.Target {
+	case TargetCycles, TargetCalendars:
+		return 1
+	default:
+		return 0.9
+	}
+}

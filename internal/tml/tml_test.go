@@ -1,0 +1,314 @@
+package tml
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+func TestParseMinimal(t *testing.T) {
+	stmt, err := Parse(`MINE RULES FROM baskets THRESHOLD SUPPORT 0.05 CONFIDENCE 0.6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Target != TargetRules || stmt.Table != "baskets" {
+		t.Errorf("target=%v table=%q", stmt.Target, stmt.Table)
+	}
+	if stmt.Support != 0.05 || stmt.Confidence != 0.6 {
+		t.Errorf("thresholds %v/%v", stmt.Support, stmt.Confidence)
+	}
+	if stmt.Granularity != timegran.Day || stmt.Limit != -1 || stmt.During != nil {
+		t.Errorf("defaults wrong: %+v", stmt)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	stmt, err := Parse(`
+		MINE RULES FROM baskets
+		DURING 'month in (jun..aug) and weekday in (sat, sun)'
+		AT GRANULARITY day
+		THRESHOLD SUPPORT 0.1 CONFIDENCE 0.7 FREQUENCY 0.8
+		MAX SIZE 3
+		LIMIT 25
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.During == nil || stmt.DuringSrc == "" {
+		t.Fatal("DURING not parsed")
+	}
+	if stmt.Frequency != 0.8 || stmt.MaxSize != 3 || stmt.Limit != 25 {
+		t.Errorf("options wrong: %+v", stmt)
+	}
+	// The pattern actually works.
+	jul6 := timegran.GranuleOf(time.Date(2024, 7, 6, 0, 0, 0, 0, time.UTC), timegran.Day)
+	if !stmt.During.Matches(timegran.Day, jul6) {
+		t.Error("parsed DURING pattern does not match a July Saturday")
+	}
+}
+
+func TestParsePeriodsCyclesCalendars(t *testing.T) {
+	p, err := Parse(`MINE PERIODS FROM b AT GRANULARITY week THRESHOLD SUPPORT 0.05 CONFIDENCE 0.5 MIN LENGTH 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Target != TargetPeriods || p.MinLength != 3 || p.Granularity != timegran.Week {
+		t.Errorf("%+v", p)
+	}
+	if p.defaultFrequency() != 0.9 {
+		t.Errorf("PERIODS default frequency = %v", p.defaultFrequency())
+	}
+
+	c, err := Parse(`MINE CYCLES FROM b THRESHOLD SUPPORT 0.05 CONFIDENCE 0.5 MAX LENGTH 14 MIN REPS 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Target != TargetCycles || c.MaxLength != 14 || c.MinReps != 3 {
+		t.Errorf("%+v", c)
+	}
+	if c.defaultFrequency() != 1 {
+		t.Errorf("CYCLES default frequency = %v", c.defaultFrequency())
+	}
+
+	cal, err := Parse(`MINE CALENDARS FROM b THRESHOLD SUPPORT 0.05 CONFIDENCE 0.5 MIN REPS 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Target != TargetCalendars || cal.MinReps != 2 {
+		t.Errorf("%+v", cal)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT * FROM t`,
+		`MINE`,
+		`MINE THINGS FROM b THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5`,
+		`MINE RULES FROM`,
+		`MINE RULES FROM b`,
+		`MINE RULES FROM b THRESHOLD SUPPORT 0.1`,
+		`MINE RULES FROM b THRESHOLD CONFIDENCE 0.5`,
+		`MINE RULES FROM b THRESHOLD SUPPORT 2 CONFIDENCE 0.5`,
+		`MINE RULES FROM b THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 LIMIT 2.5`,
+		`MINE PERIODS FROM b DURING 'always' THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5`,
+		`MINE RULES FROM b DURING 'bogus ((' THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5`,
+		`MINE RULES FROM b DURING always THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5`,
+		`MINE RULES FROM b AT GRANULARITY fortnight THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5`,
+		`MINE RULES FROM b THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 MIN BANANAS 2`,
+		`MINE RULES FROM b THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 MAX BANANAS 2`,
+		`MINE RULES FROM b THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 EXTRA`,
+		`MINE RULES FROM b THRESHOLD SUPPORT x CONFIDENCE 0.5`,
+		`MINE RULES FROM b 'str' THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5`,
+	}
+	for _, in := range bad {
+		if stmt, err := Parse(in); err == nil {
+			t.Errorf("accepted %q as %+v", in, stmt)
+		}
+	}
+}
+
+func TestIsMineStatement(t *testing.T) {
+	if !IsMineStatement("  MINE RULES FROM x THRESHOLD SUPPORT .1 CONFIDENCE .5") {
+		t.Error("MINE not detected")
+	}
+	if IsMineStatement("SELECT * FROM mine") {
+		t.Error("SELECT misrouted")
+	}
+	if IsMineStatement("") {
+		t.Error("empty input detected as MINE")
+	}
+}
+
+// fixtureDB builds the 28-day core fixture inside a database with
+// named items.
+func fixtureDB(t *testing.T) *tdb.DB {
+	t.Helper()
+	db := tdb.NewMemDB()
+	names := []string{"bread", "milk", "bbq", "charcoal", "choc", "wine"}
+	ids := make(map[string]uint32, len(names))
+	for _, n := range names {
+		ids[n] = uint32(db.Dict().Intern(n))
+	}
+	tbl, err := db.CreateTxTable("baskets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2024, 1, 1, 12, 0, 0, 0, time.UTC) // a Monday
+	for d := 0; d < 28; d++ {
+		at := start.AddDate(0, 0, d)
+		weekend := d%7 == 5 || d%7 == 6
+		seasonal := d >= 7 && d <= 13
+		for i := 0; i < 10; i++ {
+			basket := []string{"bread"}
+			if i < 8 {
+				basket = append(basket, "milk")
+			}
+			if seasonal {
+				basket = append(basket, "bbq", "charcoal")
+			}
+			if weekend && i < 9 {
+				basket = append(basket, "choc", "wine")
+			}
+			tbl.Append(at.Add(time.Duration(i)*time.Minute), db.Dict().InternAll(basket...))
+		}
+	}
+	return db
+}
+
+func TestExecTraditionalRules(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	res, err := ex.Exec(`MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 4 {
+		t.Fatalf("cols = %v", res.Cols)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[0].AsString() == "{bread}" && row[1].AsString() == "{milk}" {
+			found = true
+			if c := row[3].AsFloat(); c < 0.79 || c > 0.81 {
+				t.Errorf("confidence = %v", c)
+			}
+		}
+		if strings.Contains(row[0].AsString(), "bbq") {
+			t.Errorf("traditional mining surfaced the seasonal rule: %v", row)
+		}
+	}
+	if !found {
+		t.Error("{bread}=>{milk} not found")
+	}
+}
+
+func TestExecPeriods(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	res, err := ex.Exec(`MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 1.0 MIN LENGTH 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundSeasonal := false
+	for _, row := range res.Rows {
+		if row[0].AsString() == "{bbq}" && row[1].AsString() == "{charcoal}" {
+			foundSeasonal = true
+			if row[4].AsString() != "2024-01-08" || row[5].AsString() != "2024-01-14" {
+				t.Errorf("seasonal period = %v..%v", row[4], row[5])
+			}
+		}
+	}
+	if !foundSeasonal {
+		t.Error("seasonal valid period not reported")
+	}
+}
+
+func TestExecCyclesAndCalendars(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	res, err := ex.Exec(`MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 MAX LENGTH 10 MIN REPS 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weekendCycles := 0
+	for _, row := range res.Rows {
+		if row[0].AsString() == "{choc}" && row[1].AsString() == "{wine}" && strings.HasPrefix(row[4].AsString(), "every 7") {
+			weekendCycles++
+		}
+	}
+	if weekendCycles != 2 {
+		t.Errorf("weekend cycles for {choc}=>{wine} = %d, want 2 (sat, sun)", weekendCycles)
+	}
+
+	res, err = ex.Exec(`MINE CALENDARS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 MIN REPS 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundWeekend := false
+	for _, row := range res.Rows {
+		if row[0].AsString() == "{choc}" && row[4].AsString() == "weekday in (6..7)" {
+			foundWeekend = true
+		}
+	}
+	if !foundWeekend {
+		t.Error("weekend calendar not reported")
+	}
+}
+
+func TestExecDuring(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	res, err := ex.Exec(`MINE RULES FROM baskets DURING 'weekday in (sat, sun)' THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 0.9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[0].AsString() == "{choc}" && row[1].AsString() == "{wine}" {
+			found = true
+			if row[5].AsString() != "weekday in (sat, sun)" {
+				t.Errorf("during column = %v", row[5])
+			}
+		}
+	}
+	if !found {
+		t.Error("weekend rule not found during weekends")
+	}
+}
+
+func TestExecLimit(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	res, err := ex.Exec(`MINE RULES FROM baskets THRESHOLD SUPPORT 0.1 CONFIDENCE 0.1 LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("LIMIT 2 returned %d rows", len(res.Rows))
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := fixtureDB(t)
+	schema, _ := tdb.NewSchema(tdb.Column{Name: "x", Kind: tdb.KindInt})
+	if _, err := db.CreateTable("rel", schema); err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(db)
+	if _, err := ex.Exec(`MINE RULES FROM nosuch THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5`); err == nil {
+		t.Error("missing table accepted")
+	}
+	if _, err := ex.Exec(`MINE RULES FROM rel THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5`); err == nil {
+		t.Error("relational table accepted for mining")
+	}
+	if _, err := ex.Exec(`garbage`); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSessionRoutesBothLanguages(t *testing.T) {
+	db := fixtureDB(t)
+	s := NewSession(db)
+
+	// SQL side: data understanding over the virtual item view.
+	res, err := s.Exec(`SELECT item, COUNT(*) AS n FROM baskets GROUP BY item ORDER BY n DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][0].AsString() != "bread" {
+		t.Errorf("SQL result = %v", res.Rows)
+	}
+
+	// TML side: ad-hoc mining in the same session.
+	res, err = s.Exec(`MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 MAX LENGTH 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("TML result empty")
+	}
+}

@@ -1,0 +1,271 @@
+// Package tarm is the public API of the temporal association rule
+// mining system, a reproduction of Chen & Petrounias, "Discovering
+// Temporal Association Rules: Algorithms, Language and System"
+// (ICDE 2000).
+//
+// The facade re-exports the stable surface of the internal packages:
+//
+//   - the temporal database (DB, TxTable) and its SQL engine,
+//   - the calendar algebra (granularities, patterns, ParsePattern),
+//   - the three temporal mining tasks (MineValidPeriods, MineCycles and
+//     MineCalendarPeriodicities, MineDuring),
+//   - the traditional Apriori baseline (MineTraditional),
+//   - the TML language and the IQMS session (NewSession), and
+//   - the synthetic workload generator used by the experiments.
+//
+// A minimal end-to-end use:
+//
+//	db := tarm.NewMemDB()
+//	baskets, _ := db.CreateTxTable("baskets")
+//	baskets.Append(time.Now(), db.Dict().InternAll("bread", "milk"))
+//	...
+//	rules, _ := tarm.MineValidPeriods(baskets, tarm.Config{
+//	    Granularity: tarm.Day, MinSupport: 0.05,
+//	    MinConfidence: 0.6, MinFreq: 0.9,
+//	}, tarm.PeriodConfig{})
+package tarm
+
+import (
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/core"
+	"github.com/tarm-project/tarm/internal/gen"
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/minisql"
+	"github.com/tarm-project/tarm/internal/prune"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+	"github.com/tarm-project/tarm/internal/tml"
+)
+
+// Itemset kernel.
+type (
+	// Item identifies a single item.
+	Item = itemset.Item
+	// Itemset is a canonical (sorted, duplicate-free) set of items.
+	Itemset = itemset.Set
+	// Dict maps item names to identifiers and back.
+	Dict = itemset.Dict
+)
+
+// NewItemset builds a canonical itemset from items in any order.
+func NewItemset(items ...Item) Itemset { return itemset.New(items...) }
+
+// NewDict returns an empty item dictionary.
+func NewDict() *Dict { return itemset.NewDict() }
+
+// Rules.
+type (
+	// Rule is an association rule X ⇒ Y with support/confidence/lift.
+	Rule = apriori.Rule
+	// TemporalRule pairs a rule with a discovered temporal feature.
+	TemporalRule = core.TemporalRule
+	// PeriodRule is a Task I result (rule + maximal valid period).
+	PeriodRule = core.PeriodRule
+	// CyclicRule is a Task II result (rule + cycle).
+	CyclicRule = core.CyclicRule
+	// CalendarRule is a Task II calendar-periodicity result.
+	CalendarRule = core.CalendarRule
+)
+
+// Time model and calendar algebra.
+type (
+	// Granularity is a calendar unit (Second … Year).
+	Granularity = timegran.Granularity
+	// Granule is one unit of a granularity since the Unix epoch.
+	Granule = timegran.Granule
+	// Interval is an inclusive granule range.
+	Interval = timegran.Interval
+	// IntervalSet is a normalised set of granules.
+	IntervalSet = timegran.IntervalSet
+	// Pattern is a temporal feature: a predicate over granules.
+	Pattern = timegran.Pattern
+	// Cycle is the periodic pattern "every Length granules at Offset".
+	Cycle = timegran.Cycle
+	// Calendar is a calendar-class pattern such as "weekday in (6..7)".
+	Calendar = timegran.Calendar
+	// Window is an absolute time-range pattern.
+	Window = timegran.Window
+)
+
+// Granularities.
+const (
+	Second  = timegran.Second
+	Minute  = timegran.Minute
+	Hour    = timegran.Hour
+	Day     = timegran.Day
+	Week    = timegran.Week
+	Month   = timegran.Month
+	Quarter = timegran.Quarter
+	Year    = timegran.Year
+)
+
+// ParsePattern parses the textual calendar-algebra syntax, e.g.
+// "month in (jun..aug) and weekday in (sat, sun)".
+func ParsePattern(expr string) (Pattern, error) { return timegran.ParsePattern(expr) }
+
+// ParseGranularity parses a granularity name such as "day" or "weeks".
+func ParseGranularity(s string) (Granularity, error) { return timegran.ParseGranularity(s) }
+
+// Database.
+type (
+	// DB is a collection of relational and transaction tables sharing
+	// one item dictionary.
+	DB = tdb.DB
+	// TxTable is a time-partitioned transaction table.
+	TxTable = tdb.TxTable
+	// Tx is one timestamped transaction.
+	Tx = tdb.Tx
+)
+
+// Open loads or initialises a persistent database directory.
+func Open(dir string) (*DB, error) { return tdb.Open(dir) }
+
+// Segmented persistence: time-partitioned storage for append-mostly
+// transaction tables.
+type (
+	// SegmentConfig fixes the segment grid (granularity × width).
+	SegmentConfig = tdb.SegmentConfig
+	// SegmentSaveStats reports written vs skipped segments.
+	SegmentSaveStats = tdb.SegmentSaveStats
+)
+
+// SaveTxTableSegmented writes a transaction table as time segments,
+// rewriting only segments whose contents changed since the last save.
+func SaveTxTableSegmented(t *TxTable, dir string, cfg SegmentConfig) (SegmentSaveStats, error) {
+	return tdb.SaveTxTableSegmented(t, dir, cfg)
+}
+
+// LoadTxTableSegmented reads a segment directory back.
+func LoadTxTableSegmented(dir string) (*TxTable, SegmentConfig, error) {
+	return tdb.LoadTxTableSegmented(dir)
+}
+
+// NewMemDB returns an in-memory database.
+func NewMemDB() *DB { return tdb.NewMemDB() }
+
+// Mining configuration.
+type (
+	// Config carries the shared temporal mining thresholds.
+	Config = core.Config
+	// PeriodConfig tunes Task I.
+	PeriodConfig = core.PeriodConfig
+	// CycleConfig tunes Task II.
+	CycleConfig = core.CycleConfig
+	// HoldTable is the shared per-granule counting substrate; build it
+	// once with BuildHoldTable to run several tasks over one pass, and
+	// refresh it incrementally with its Extend method as new
+	// transactions arrive.
+	HoldTable = core.HoldTable
+)
+
+// BuildHoldTable runs the shared counting pass; the *FromTable mining
+// variants in internal/core run any task over it without rescanning.
+func BuildHoldTable(tbl *TxTable, cfg Config) (*HoldTable, error) {
+	return core.BuildHoldTable(tbl, cfg)
+}
+
+// MineValidPeriodsFromTable is Task I over a prebuilt HoldTable.
+func MineValidPeriodsFromTable(h *HoldTable, pcfg PeriodConfig) ([]PeriodRule, error) {
+	return core.MineValidPeriodsFromTable(h, pcfg)
+}
+
+// MineCyclesFromTable is Task II (cycles) over a prebuilt HoldTable.
+func MineCyclesFromTable(h *HoldTable, ccfg CycleConfig) ([]CyclicRule, error) {
+	return core.MineCyclesFromTable(h, ccfg)
+}
+
+// MineDuringFromTable is Task III over a prebuilt HoldTable.
+func MineDuringFromTable(h *HoldTable, feature Pattern) ([]TemporalRule, error) {
+	return core.MineDuringFromTable(h, feature)
+}
+
+// MineValidPeriods runs Task I: rules with their maximal valid periods.
+func MineValidPeriods(tbl *TxTable, cfg Config, pcfg PeriodConfig) ([]PeriodRule, error) {
+	return core.MineValidPeriods(tbl, cfg, pcfg)
+}
+
+// MineCycles runs the arithmetic half of Task II: rules with the cycles
+// they obey.
+func MineCycles(tbl *TxTable, cfg Config, ccfg CycleConfig) ([]CyclicRule, error) {
+	return core.MineCycles(tbl, cfg, ccfg)
+}
+
+// MineCalendarPeriodicities runs the calendar half of Task II: rules
+// with calendar-class features such as "weekday in (6..7)".
+func MineCalendarPeriodicities(tbl *TxTable, cfg Config, ccfg CycleConfig) ([]CalendarRule, error) {
+	return core.MineCalendarPeriodicities(tbl, cfg, ccfg)
+}
+
+// MineDuring runs Task III: rules that hold during the given temporal
+// feature.
+func MineDuring(tbl *TxTable, cfg Config, feature Pattern) ([]TemporalRule, error) {
+	return core.MineDuring(tbl, cfg, feature)
+}
+
+// MineDuringExpr is MineDuring with a textual feature expression.
+func MineDuringExpr(tbl *TxTable, cfg Config, expr string) ([]TemporalRule, error) {
+	return core.MineDuringExpr(tbl, cfg, expr)
+}
+
+// MineTraditional is the time-agnostic Apriori baseline over the whole
+// table.
+func MineTraditional(tbl *TxTable, minSupport, minConfidence float64, maxK int) ([]Rule, error) {
+	return core.MineTraditional(tbl, minSupport, minConfidence, maxK)
+}
+
+// Rule post-processing (result analysis).
+type (
+	// PruneOptions selects interestingness filters for mined rules.
+	PruneOptions = prune.Options
+	// PruneStats reports how many rules each filter dropped.
+	PruneStats = prune.Stats
+)
+
+// PruneRules filters a mined rule set by lift, improvement over
+// simpler rules, and statistical significance.
+func PruneRules(rules []Rule, opt PruneOptions) ([]Rule, PruneStats, error) {
+	return prune.Filter(rules, opt)
+}
+
+// SortRulesByLift orders rules by descending lift for presentation.
+var SortRulesByLift = prune.SortByLift
+
+// GranuleStat is one granule of a rule's support history.
+type GranuleStat = core.GranuleStat
+
+// RuleHistory returns the per-granule support/confidence series of one
+// rule — the result-analysis companion to the discovery tasks.
+func RuleHistory(tbl *TxTable, cfg Config, ante, cons Itemset) ([]GranuleStat, error) {
+	return core.RuleHistory(tbl, cfg, ante, cons)
+}
+
+// IQMS: the integrated query-and-mining session.
+type (
+	// Session routes SQL statements to the query engine and MINE
+	// statements to the TML executor over one shared database.
+	Session = tml.Session
+	// Result is a tabular statement result.
+	Result = minisql.Result
+)
+
+// NewSession builds an IQMS session over db.
+func NewSession(db *DB) *Session { return tml.NewSession(db) }
+
+// FormatResult renders a result as an aligned text table.
+var FormatResult = minisql.Format
+
+// Synthetic workloads.
+type (
+	// QuestConfig parametrises the Agrawal–Srikant generator.
+	QuestConfig = gen.QuestConfig
+	// TemporalConfig parametrises the temporal generator.
+	TemporalConfig = gen.TemporalConfig
+	// PlantedRule is a ground-truth temporal rule embedded in generated
+	// data.
+	PlantedRule = gen.PlantedRule
+)
+
+// GenerateTemporal draws a timestamped synthetic transaction table.
+func GenerateTemporal(cfg TemporalConfig, seed int64) (*TxTable, error) {
+	return gen.GenerateTemporal(cfg, seed)
+}
