@@ -15,6 +15,7 @@ import (
 	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/bench"
 	"github.com/tarm-project/tarm/internal/core"
+	"github.com/tarm-project/tarm/internal/gen"
 	"github.com/tarm-project/tarm/internal/itemset"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/timegran"
@@ -268,6 +269,7 @@ func BenchmarkHashTreeVsNaive(b *testing.B) {
 		b.Fatal("no candidates")
 	}
 	b.Run(fmt.Sprintf("hashtree-%dcands", len(cands)), func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := apriori.CountSets(src, cands, 2); err != nil {
 				b.Fatal(err)
@@ -275,10 +277,34 @@ func BenchmarkHashTreeVsNaive(b *testing.B) {
 		}
 	})
 	b.Run(fmt.Sprintf("naive-%dcands", len(cands)), func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			apriori.CountSetsNaive(src, cands)
 		}
 	})
+}
+
+// BenchmarkCountingBackend is the backend ablation on the paper's
+// T10.I4 workload class: 10k Quest transactions mined to k=3 at 1%
+// support with the hash-tree versus the vertical bitmap counter.
+func BenchmarkCountingBackend(b *testing.B) {
+	q, err := gen.NewQuest(gen.QuestConfig{}, 1998)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := apriori.Transactions(q.Transactions(10000))
+	for _, bk := range []apriori.Backend{apriori.BackendHashTree, apriori.BackendBitmap} {
+		b.Run(bk.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := apriori.Mine(src, apriori.Config{
+					MinSupport: 0.01, MaxK: 3, Backend: bk,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkHoldTableBuild times the shared per-granule counting pass by
@@ -286,6 +312,7 @@ func BenchmarkHashTreeVsNaive(b *testing.B) {
 func BenchmarkHoldTableBuild(b *testing.B) {
 	tbl := dataset(b)
 	cfg := bench.Cfg()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.BuildHoldTable(tbl, cfg); err != nil {
 			b.Fatal(err)
@@ -299,6 +326,7 @@ func BenchmarkHoldTableWorkers(b *testing.B) {
 	tbl := dataset(b)
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := bench.Cfg()
 			cfg.Workers = w
 			for i := 0; i < b.N; i++ {
@@ -361,6 +389,7 @@ func BenchmarkHashTreeParams(b *testing.B) {
 	for _, fanout := range []int{4, 8, 16} {
 		for _, leaf := range []int{4, 16, 64} {
 			b.Run(fmt.Sprintf("fanout=%d/leaf=%d", fanout, leaf), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					tree, err := apriori.NewHashTree(cands, 2, fanout, leaf)
 					if err != nil {

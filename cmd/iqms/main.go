@@ -23,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/minisql"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/tml"
@@ -31,10 +32,17 @@ import (
 func main() {
 	dbDir := flag.String("db", "", "database directory (empty: in-memory)")
 	script := flag.String("f", "", "execute statements from this file and exit")
+	backendName := flag.String("backend", "auto", "counting backend: auto, naive, hashtree or bitmap")
+	workers := flag.Int("workers", 0, "parallel counting workers (0 = sequential)")
 	flag.Parse()
 
+	backend, err := apriori.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iqms:", err)
+		os.Exit(2)
+	}
+
 	var db *tdb.DB
-	var err error
 	if *dbDir != "" {
 		db, err = tdb.Open(*dbDir)
 	} else {
@@ -45,6 +53,8 @@ func main() {
 		os.Exit(1)
 	}
 	session := tml.NewSession(db)
+	session.TML.Backend = backend
+	session.TML.Workers = *workers
 
 	if *script != "" {
 		f, err := os.Open(*script)

@@ -7,6 +7,7 @@
 //	tarmine -db ./data -e "MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.1 CONFIDENCE 0.6"
 //	tarmine -experiment e1          # one experiment
 //	tarmine -experiment all         # the full suite (slow)
+//	tarmine -backend bitmap -workers 4 -experiment e2
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/bench"
 	"github.com/tarm-project/tarm/internal/minisql"
 	"github.com/tarm-project/tarm/internal/tdb"
@@ -24,8 +26,18 @@ import (
 func main() {
 	dbDir := flag.String("db", "", "database directory")
 	stmt := flag.String("e", "", "statement to execute (TML or SQL)")
-	experiment := flag.String("experiment", "", "experiment id (e1..e10) or 'all'")
+	experiment := flag.String("experiment", "", "experiment id (e1..e11) or 'all'")
+	backendName := flag.String("backend", "auto", "counting backend: auto, naive, hashtree or bitmap")
+	workers := flag.Int("workers", 0, "parallel counting workers (0 = sequential)")
 	flag.Parse()
+
+	backend, err := apriori.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tarmine:", err)
+		os.Exit(2)
+	}
+	bench.Backend = backend
+	bench.Workers = *workers
 
 	switch {
 	case *experiment != "":
@@ -38,7 +50,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tarmine: -e needs -db")
 			os.Exit(2)
 		}
-		if err := execStatement(*dbDir, *stmt, os.Stdout); err != nil {
+		if err := execStatement(*dbDir, *stmt, backend, *workers, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "tarmine:", err)
 			os.Exit(1)
 		}
@@ -49,12 +61,15 @@ func main() {
 }
 
 // execStatement opens the database and runs one TML or SQL statement.
-func execStatement(dbDir, stmt string, w io.Writer) error {
+func execStatement(dbDir, stmt string, backend apriori.Backend, workers int, w io.Writer) error {
 	db, err := tdb.Open(dbDir)
 	if err != nil {
 		return err
 	}
-	res, err := tml.NewSession(db).Exec(stmt)
+	session := tml.NewSession(db)
+	session.TML.Backend = backend
+	session.TML.Workers = workers
+	res, err := session.Exec(stmt)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/itemset"
 	"github.com/tarm-project/tarm/internal/tdb"
 )
@@ -33,7 +34,7 @@ func TestExecStatement(t *testing.T) {
 	}
 
 	var out strings.Builder
-	if err := execStatement(dir, `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`, &out); err != nil {
+	if err := execStatement(dir, `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`, apriori.BackendBitmap, 2, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "{bread}") {
@@ -41,14 +42,14 @@ func TestExecStatement(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := execStatement(dir, `SELECT COUNT(*) AS n FROM baskets`, &out); err != nil {
+	if err := execStatement(dir, `SELECT COUNT(*) AS n FROM baskets`, apriori.BackendAuto, 0, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "168") { // 14 days × 6 tx × 2 items
 		t.Errorf("SQL output: %q", out.String())
 	}
 
-	if err := execStatement(dir, `MINE garbage`, &out); err == nil {
+	if err := execStatement(dir, `MINE garbage`, apriori.BackendAuto, 0, &out); err == nil {
 		t.Error("bad statement accepted")
 	}
 }

@@ -3,6 +3,7 @@ package apriori
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/tarm-project/tarm/internal/itemset"
@@ -22,8 +23,16 @@ type Config struct {
 	MaxK int
 	// Fanout and LeafSize tune the hash tree; 0 selects the defaults.
 	Fanout, LeafSize int
+	// Backend selects the support-counting strategy; the zero value
+	// (BackendAuto) picks hash tree or bitmap from the data shape.
+	Backend Backend
+	// Workers parallelises the bitmap backend's candidate counting
+	// across a worker pool; 0 or 1 counts sequentially. Counts are
+	// identical at any worker count.
+	Workers int
 	// NaiveCounting replaces the hash tree with the direct per-candidate
-	// subset test. Used by tests and by the counting ablation bench.
+	// subset test. Deprecated: set Backend to BackendNaive instead; the
+	// flag is honoured only while Backend is BackendAuto.
 	NaiveCounting bool
 }
 
@@ -35,14 +44,20 @@ func (c Config) minCount(n int) (int, error) {
 	if c.MinSupport <= 0 || c.MinSupport > 1 {
 		return 0, fmt.Errorf("apriori: MinSupport %v outside (0,1] and no MinCount given", c.MinSupport)
 	}
-	mc := int(c.MinSupport * float64(n))
-	if float64(mc) < c.MinSupport*float64(n) {
-		mc++
+	return CeilCount(c.MinSupport, n), nil
+}
+
+// CeilCount is ceil(frac·n), at least 1, computed with a relative
+// epsilon so that products the caller means to be integral do not round
+// up a whole count: 0.15·20 evaluates to 3.0000000000000004 in float64,
+// and a naive ceiling would demand 4 of 20 transactions instead of 3.
+func CeilCount(frac float64, n int) int {
+	v := frac * float64(n)
+	c := int(math.Ceil(v - 1e-9*math.Max(1, v)))
+	if c < 1 {
+		c = 1
 	}
-	if mc < 1 {
-		mc = 1
-	}
-	return mc, nil
+	return c
 }
 
 // ItemsetCount pairs a frequent itemset with its absolute support
@@ -95,7 +110,7 @@ func (f *Frequent) TotalItemsets() int {
 
 // All returns every frequent itemset in canonical order.
 func (f *Frequent) All() []ItemsetCount {
-	var out []ItemsetCount
+	out := make([]ItemsetCount, 0, f.TotalItemsets())
 	for _, level := range f.ByK {
 		out = append(out, level...)
 	}
@@ -120,7 +135,6 @@ func Mine(src Source, cfg Config) (*Frequent, error) {
 		N:        n,
 		MinCount: minCount,
 		ByK:      [][]ItemsetCount{nil},
-		counts:   make(map[string]int),
 	}
 
 	// Level 1: one pass with a plain counter map.
@@ -138,26 +152,27 @@ func Mine(src Source, cfg Config) (*Frequent, error) {
 	}
 	sort.Slice(l1, func(i, j int) bool { return l1[i].Set.Compare(l1[j].Set) < 0 })
 	res.ByK = append(res.ByK, l1)
+	// Pre-size the lookup map from the L1 level: most frequent itemsets
+	// are pairs of frequent items, so 2·|L1| is a cheap lower-variance
+	// guess that avoids the early growth rehashes.
+	res.counts = make(map[string]int, 2*len(l1))
 	for _, ic := range l1 {
 		res.counts[ic.Set.Key()] = ic.Count
 	}
 
+	counter, err := cfg.newCounter(src, l1)
+	if err != nil {
+		return nil, err
+	}
 	prev := l1
 	for k := 2; len(prev) > 0 && (cfg.MaxK == 0 || k <= cfg.MaxK); k++ {
 		cands := GenerateCandidates(prev)
 		if len(cands) == 0 {
 			break
 		}
-		var counts []int
-		if cfg.NaiveCounting {
-			counts = CountSetsNaive(src, cands)
-		} else {
-			tree, err := NewHashTree(cands, k, cfg.Fanout, cfg.LeafSize)
-			if err != nil {
-				return nil, err
-			}
-			src.ForEach(tree.Add)
-			counts = tree.Counts()
+		counts, err := counter.CountLevel(cands, k)
+		if err != nil {
+			return nil, err
 		}
 		var level []ItemsetCount
 		for i, c := range cands {

@@ -1,0 +1,207 @@
+package apriori
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+)
+
+// Backend selects the support-counting strategy of the level-wise
+// miner. The zero value is BackendAuto.
+type Backend int
+
+const (
+	// BackendAuto picks hash tree or bitmap per run from the data
+	// shape (see ChooseAuto).
+	BackendAuto Backend = iota
+	// BackendNaive tests every candidate against every transaction; it
+	// is the reference the others are property-tested against.
+	BackendNaive
+	// BackendHashTree is the classic Apriori hash tree: one pass per
+	// level over the transactions, visiting only plausible candidates.
+	BackendHashTree
+	// BackendBitmap is the vertical representation: per-item TID
+	// bitmaps intersected with word-parallel AND + popcount.
+	BackendBitmap
+)
+
+// Valid reports whether b names a known backend.
+func (b Backend) Valid() bool { return b >= BackendAuto && b <= BackendBitmap }
+
+// String returns the flag-friendly name.
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendNaive:
+		return "naive"
+	case BackendHashTree:
+		return "hashtree"
+	case BackendBitmap:
+		return "bitmap"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend parses a backend name as used by the -backend CLI flag.
+// The empty string means auto.
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return BackendAuto, nil
+	case "naive":
+		return BackendNaive, nil
+	case "hashtree", "tree":
+		return BackendHashTree, nil
+	case "bitmap", "vertical", "eclat":
+		return BackendBitmap, nil
+	}
+	return 0, fmt.Errorf("apriori: unknown counting backend %q (want auto, naive, hashtree or bitmap)", s)
+}
+
+// maxBitmapBytes caps the memory the auto heuristic will spend on an
+// index before falling back to the hash tree.
+const maxBitmapBytes = 512 << 20
+
+// ChooseAuto resolves BackendAuto from the shape of the data: n
+// transactions holding occurrences total occurrences of nItems distinct
+// (frequent) items. A bitmap AND costs O(n/64) per candidate no matter
+// how rare its items are, while hash-tree work scales with occurrences;
+// bitmaps therefore win unless the data is ultra-sparse (items present
+// in fewer than ~1/512 of the transactions on average) or the index
+// would not fit comfortably in memory.
+func ChooseAuto(n, nItems int, occurrences int64) Backend {
+	if n < 64 || nItems == 0 {
+		return BackendHashTree
+	}
+	words := int64((n + 63) / 64)
+	if int64(nItems)*words*8 > maxBitmapBytes {
+		return BackendHashTree
+	}
+	density := float64(occurrences) / (float64(nItems) * float64(n))
+	if density < 1.0/512 {
+		return BackendHashTree
+	}
+	return BackendBitmap
+}
+
+// Counter counts the support of one level of equal-length candidates
+// against a fixed transaction source. Mine builds one Counter per run
+// and calls CountLevel once per level, so a backend can amortise work
+// across levels — the bitmap backend ingests the source into its index
+// on first use and never rescans.
+type Counter interface {
+	// CountLevel returns one support count per candidate. All
+	// candidates have length k and arrive in canonical sorted order.
+	CountLevel(cands []itemset.Set, k int) ([]int, error)
+}
+
+type naiveCounter struct{ src Source }
+
+func (c naiveCounter) CountLevel(cands []itemset.Set, k int) ([]int, error) {
+	return CountSetsNaive(c.src, cands), nil
+}
+
+type hashTreeCounter struct {
+	src          Source
+	fanout, leaf int
+}
+
+func (c hashTreeCounter) CountLevel(cands []itemset.Set, k int) ([]int, error) {
+	tree, err := NewHashTree(cands, k, c.fanout, c.leaf)
+	if err != nil {
+		return nil, err
+	}
+	c.src.ForEach(tree.Add)
+	out := make([]int, len(tree.counts))
+	copy(out, tree.counts)
+	return out, nil
+}
+
+type bitmapCounter struct {
+	src     Source
+	keep    map[itemset.Item]bool
+	workers int
+
+	once sync.Once
+	ix   *BitmapIndex
+}
+
+func (c *bitmapCounter) CountLevel(cands []itemset.Set, k int) ([]int, error) {
+	c.once.Do(func() { c.ix = NewBitmapIndex(c.src, c.keep) })
+	return c.ix.CountSetsParallel(cands, c.workers), nil
+}
+
+// resolvedBackend maps the configured backend through the legacy
+// NaiveCounting flag.
+func (c Config) resolvedBackend() Backend {
+	if c.Backend != BackendAuto {
+		return c.Backend
+	}
+	if c.NaiveCounting {
+		return BackendNaive
+	}
+	return BackendAuto
+}
+
+// newCounter builds the counter for src given the level-1 result: l1
+// carries the frequent 1-itemsets with their counts, which the bitmap
+// backend uses to index only items that can appear in a candidate and
+// the auto heuristic reads for density.
+func (c Config) newCounter(src Source, l1 []ItemsetCount) (Counter, error) {
+	b := c.resolvedBackend()
+	if !b.Valid() {
+		return nil, fmt.Errorf("apriori: invalid counting backend %d", int(b))
+	}
+	if b == BackendAuto {
+		var occ int64
+		for _, ic := range l1 {
+			occ += int64(ic.Count)
+		}
+		b = ChooseAuto(src.Len(), len(l1), occ)
+	}
+	switch b {
+	case BackendNaive:
+		return naiveCounter{src: src}, nil
+	case BackendBitmap:
+		keep := make(map[itemset.Item]bool, len(l1))
+		for _, ic := range l1 {
+			keep[ic.Set[0]] = true
+		}
+		return &bitmapCounter{src: src, keep: keep, workers: c.Workers}, nil
+	default:
+		return hashTreeCounter{src: src, fanout: c.Fanout, leaf: c.LeafSize}, nil
+	}
+}
+
+// NewCounter resolves cfg's backend for src and returns a ready
+// counter. Unlike the internal path used by Mine, an auto backend here
+// decides from one statistics scan of the source, since no level-1
+// result is available yet.
+func NewCounter(src Source, cfg Config) (Counter, error) {
+	b := cfg.resolvedBackend()
+	if !b.Valid() {
+		return nil, fmt.Errorf("apriori: invalid counting backend %d", int(b))
+	}
+	if b == BackendAuto {
+		items := make(map[itemset.Item]bool)
+		var occ int64
+		src.ForEach(func(tx itemset.Set) {
+			for _, x := range tx {
+				items[x] = true
+			}
+			occ += int64(len(tx))
+		})
+		b = ChooseAuto(src.Len(), len(items), occ)
+	}
+	switch b {
+	case BackendNaive:
+		return naiveCounter{src: src}, nil
+	case BackendBitmap:
+		return &bitmapCounter{src: src, workers: cfg.Workers}, nil
+	default:
+		return hashTreeCounter{src: src, fanout: cfg.Fanout, leaf: cfg.LeafSize}, nil
+	}
+}

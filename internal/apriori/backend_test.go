@@ -1,0 +1,126 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+)
+
+func TestParseBackend(t *testing.T) {
+	cases := map[string]Backend{
+		"":         BackendAuto,
+		"auto":     BackendAuto,
+		"naive":    BackendNaive,
+		"hashtree": BackendHashTree,
+		"Tree":     BackendHashTree,
+		"bitmap":   BackendBitmap,
+		"ECLAT":    BackendBitmap,
+		"vertical": BackendBitmap,
+	}
+	for in, want := range cases {
+		got, err := ParseBackend(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseBackend("quantum"); err == nil {
+		t.Error("ParseBackend accepted an unknown backend")
+	}
+	for b := BackendAuto; b <= BackendBitmap; b++ {
+		rt, err := ParseBackend(b.String())
+		if err != nil || rt != b {
+			t.Errorf("round trip of %v failed: %v, %v", b, rt, err)
+		}
+	}
+}
+
+// TestCeilCountBoundaries pins the float-ceiling fix: supports whose
+// product with n is integral must not round up one extra transaction.
+func TestCeilCountBoundaries(t *testing.T) {
+	cases := []struct {
+		frac float64
+		n    int
+		want int
+	}{
+		{0.15, 20, 3},  // 0.15*20 = 3.0000000000000004 in float64
+		{0.07, 100, 7}, // 7.000000000000001
+		{0.1, 30, 3},   // 2.9999999999999996
+		{0.29, 100, 29},
+		{0.3, 10, 3},
+		{0.5, 7, 4},
+		{0.001, 10, 1}, // floor of 1
+		{1, 5, 5},
+		{0.333, 3, 1},
+	}
+	for _, c := range cases {
+		if got := CeilCount(c.frac, c.n); got != c.want {
+			t.Errorf("CeilCount(%v, %d) = %d, want %d", c.frac, c.n, got, c.want)
+		}
+		cfg := Config{MinSupport: c.frac}
+		mc, err := cfg.minCount(c.n)
+		if err != nil || mc != c.want {
+			t.Errorf("minCount(%v, %d) = %d, %v; want %d", c.frac, c.n, mc, err, c.want)
+		}
+	}
+}
+
+func TestBitmapIndexMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var txs Transactions
+	for i := 0; i < 300; i++ {
+		var items []itemset.Item
+		for x := 0; x < 20; x++ {
+			if rng.Intn(4) == 0 {
+				items = append(items, itemset.Item(x))
+			}
+		}
+		txs = append(txs, itemset.New(items...))
+	}
+	var cands []itemset.Set
+	for a := 0; a < 20; a++ {
+		for b := a + 1; b < 20; b++ {
+			for c := b + 1; c < 20; c++ {
+				cands = append(cands, itemset.New(itemset.Item(a), itemset.Item(b), itemset.Item(c)))
+			}
+		}
+	}
+	itemset.SortSets(cands)
+	want := CountSetsNaive(txs, cands)
+	ix := NewBitmapIndex(txs, nil)
+	for _, workers := range []int{1, 4} {
+		got := ix.CountSetsParallel(cands, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d cand %v: bitmap count %d, naive %d", workers, cands[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPopcountRange(t *testing.T) {
+	words := make([]uint64, 4) // 256 bits
+	set := map[int]bool{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		b := rng.Intn(256)
+		set[b] = true
+		words[b>>6] |= 1 << uint(b&63)
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Intn(257)
+		hi := rng.Intn(257)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for b := lo; b < hi; b++ {
+			if set[b] {
+				want++
+			}
+		}
+		if got := PopcountRange(words, lo, hi); got != want {
+			t.Fatalf("PopcountRange(%d, %d) = %d, want %d", lo, hi, got, want)
+		}
+	}
+}

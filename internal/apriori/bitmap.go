@@ -1,0 +1,207 @@
+package apriori
+
+import (
+	"math/bits"
+	"sync"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+)
+
+// BitmapIndex is the vertical (Eclat-style) transaction representation:
+// one TID bitmap per item, one bit per transaction, packed into uint64
+// words. A candidate k-itemset is counted by intersecting its items'
+// bitmaps and popcounting the result, which turns support counting into
+// word-parallel AND + POPCNT instead of a per-transaction subset walk.
+//
+// The index is built once per mining run (one scan of the source) and
+// then serves every level; it is immutable after construction, so any
+// number of goroutines may count against it concurrently.
+type BitmapIndex struct {
+	n     int
+	words int
+	bits  map[itemset.Item][]uint64
+	zero  []uint64 // shared all-zero bitmap for items absent from the index
+	// setBits is the total number of set bits across all item bitmaps
+	// (= retained item occurrences); used by density diagnostics.
+	setBits int64
+}
+
+// NewBitmapIndex ingests src once, assigning transaction IDs in scan
+// order. keep == nil indexes every item; otherwise only items with
+// keep[x] get a bitmap — the level-wise miner passes its frequent
+// 1-itemsets, since an infrequent item can never appear in a candidate.
+func NewBitmapIndex(src Source, keep map[itemset.Item]bool) *BitmapIndex {
+	n := src.Len()
+	words := (n + 63) / 64
+	ix := &BitmapIndex{
+		n:     n,
+		words: words,
+		bits:  make(map[itemset.Item][]uint64),
+		zero:  make([]uint64, words),
+	}
+	row := 0
+	src.ForEach(func(tx itemset.Set) {
+		if row >= n {
+			return // defensive: source delivered more rows than Len()
+		}
+		for _, x := range tx {
+			if keep != nil && !keep[x] {
+				continue
+			}
+			b := ix.bits[x]
+			if b == nil {
+				b = make([]uint64, words)
+				ix.bits[x] = b
+			}
+			b[row>>6] |= 1 << uint(row&63)
+			ix.setBits++
+		}
+		row++
+	})
+	return ix
+}
+
+// N returns the number of transactions indexed.
+func (ix *BitmapIndex) N() int { return ix.n }
+
+// Words returns the number of uint64 words per item bitmap.
+func (ix *BitmapIndex) Words() int { return ix.words }
+
+// Items returns the number of distinct items indexed.
+func (ix *BitmapIndex) Items() int { return len(ix.bits) }
+
+// itemBits returns x's bitmap, or the shared zero bitmap when x never
+// occurred (or was filtered at ingest).
+func (ix *BitmapIndex) itemBits(x itemset.Item) []uint64 {
+	if b := ix.bits[x]; b != nil {
+		return b
+	}
+	return ix.zero
+}
+
+// andInto sets dst = a & b, word by word.
+func andInto(dst, a, b []uint64) {
+	_ = dst[len(a)-1] // eliminate bounds checks in the loop
+	for w := range a {
+		dst[w] = a[w] & b[w]
+	}
+}
+
+// popcount counts the set bits of a whole bitmap.
+func popcount(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// PopcountRange counts the set bits of words in bit positions [lo, hi).
+// The temporal miners use it to slice one intersection into per-granule
+// counts: granules cover contiguous transaction-ID ranges, so a single
+// AND pass serves every granule.
+func PopcountRange(words []uint64, lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-((hi-1)&63))
+	if loW == hiW {
+		return bits.OnesCount64(words[loW] & loMask & hiMask)
+	}
+	n := bits.OnesCount64(words[loW] & loMask)
+	for w := loW + 1; w < hiW; w++ {
+		n += bits.OnesCount64(words[w])
+	}
+	return n + bits.OnesCount64(words[hiW]&hiMask)
+}
+
+// EachIntersection visits the TID-bitmap intersection of every
+// candidate, in order. All candidates must share one length k ≥ 1 and
+// arrive sorted in canonical order: sorting maximises prefix reuse —
+// the (k-1)-prefix intersection computed for one candidate is kept and
+// reused for every following candidate that shares the prefix, so a run
+// of same-prefix candidates costs a single AND + popcount each. The
+// slice passed to fn is scratch, valid only during the call.
+func (ix *BitmapIndex) EachIntersection(cands []itemset.Set, fn func(i int, words []uint64)) {
+	if len(cands) == 0 {
+		return
+	}
+	k := len(cands[0])
+	if k == 1 {
+		for i, c := range cands {
+			fn(i, ix.itemBits(c[0]))
+		}
+		return
+	}
+	// acc[j-1] holds the intersection of the current candidate's items
+	// [0..j]; it stays valid while the next candidate shares those
+	// first j+1 items.
+	acc := make([][]uint64, k-1)
+	for d := range acc {
+		acc[d] = make([]uint64, ix.words)
+	}
+	var prev itemset.Set
+	for i, c := range cands {
+		shared := 0
+		for shared < len(prev) && c[shared] == prev[shared] {
+			shared++
+		}
+		// acc[j-1] involves items [0..j]: valid while j+1 ≤ shared.
+		j := shared
+		if j < 1 {
+			j = 1
+		}
+		for ; j < k; j++ {
+			left := ix.itemBits(c[0])
+			if j > 1 {
+				left = acc[j-2]
+			}
+			andInto(acc[j-1], left, ix.itemBits(c[j]))
+		}
+		fn(i, acc[k-2])
+		prev = c
+	}
+}
+
+// CountSets returns the support count of every candidate. Candidates
+// must share one length and be sorted (see EachIntersection).
+func (ix *BitmapIndex) CountSets(cands []itemset.Set) []int {
+	counts := make([]int, len(cands))
+	ix.EachIntersection(cands, func(i int, words []uint64) {
+		counts[i] = popcount(words)
+	})
+	return counts
+}
+
+// CountSetsParallel is CountSets fanned out over a worker pool. The
+// sorted candidate list is split into contiguous chunks — prefix reuse
+// keeps working inside each chunk — and workers write disjoint ranges
+// of the output, so the result is identical to the sequential count.
+func (ix *BitmapIndex) CountSetsParallel(cands []itemset.Set, workers int) []int {
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		return ix.CountSets(cands)
+	}
+	counts := make([]int, len(cands))
+	chunk := (len(cands) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(cands); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ix.EachIntersection(cands[lo:hi], func(i int, words []uint64) {
+				counts[lo+i] = popcount(words)
+			})
+		}(lo, hi)
+	}
+	wg.Wait()
+	return counts
+}

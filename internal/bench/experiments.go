@@ -21,6 +21,8 @@ func Cfg() core.Config {
 		MinConfidence: 0.6,
 		MinFreq:       0.8,
 		MaxK:          3,
+		Backend:       Backend,
+		Workers:       Workers,
 	}
 }
 

@@ -47,10 +47,16 @@ type Config struct {
 	// they are skipped entirely and count neither for nor against a
 	// rule. Zero defaults to 1 (empty granules are inactive).
 	MinGranuleTx int
-	// Workers parallelises the per-granule counting pass across
-	// contiguous granule blocks (granules are independent partitions,
-	// so the result is identical). 0 or 1 counts sequentially.
+	// Workers parallelises the per-granule counting pass — across
+	// contiguous granule blocks on the hash-tree backend, across
+	// candidate chunks on the bitmap backend. Either way granule
+	// counts are identical to a sequential pass. 0 or 1 counts
+	// sequentially.
 	Workers int
+	// Backend selects the support-counting backend of the per-granule
+	// pass (auto, naive, hashtree, bitmap); see the apriori package.
+	// Auto picks from the data shape after the level-1 scan.
+	Backend apriori.Backend
 }
 
 // normalise validates and fills defaults.
@@ -75,6 +81,9 @@ func (c Config) normalise() (Config, error) {
 	}
 	if c.Workers < 0 {
 		return c, fmt.Errorf("core: Workers %d negative", c.Workers)
+	}
+	if !c.Backend.Valid() {
+		return c, fmt.Errorf("core: invalid counting backend %d", int(c.Backend))
 	}
 	return c, nil
 }

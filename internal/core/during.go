@@ -99,9 +99,16 @@ func MineDuringExpr(tbl *tdb.TxTable, cfg Config, expr string) ([]TemporalRule, 
 // against the temporal miners to count the rules a traditional approach
 // misses.
 func MineTraditional(tbl *tdb.TxTable, minSupport, minConfidence float64, maxK int) ([]apriori.Rule, error) {
+	return MineTraditionalWith(tbl, minSupport, minConfidence, maxK, apriori.BackendAuto, 0)
+}
+
+// MineTraditionalWith is MineTraditional with an explicit counting
+// backend and worker count; the CLI front ends thread their -backend
+// and -workers flags through here.
+func MineTraditionalWith(tbl *tdb.TxTable, minSupport, minConfidence float64, maxK int, backend apriori.Backend, workers int) ([]apriori.Rule, error) {
 	_, rules, err := apriori.MineRules(
 		tbl.All(),
-		apriori.Config{MinSupport: minSupport, MaxK: maxK},
+		apriori.Config{MinSupport: minSupport, MaxK: maxK, Backend: backend, Workers: workers},
 		apriori.RuleConfig{MinConfidence: minConfidence},
 	)
 	return rules, err

@@ -55,16 +55,11 @@ func (h *HoldTable) TotalItemsets() int {
 	return n
 }
 
-// ceilCount is ceil(frac · n), at least 1.
+// ceilCount is ceil(frac · n), at least 1, with the boundary-robust
+// rounding shared with the flat miner (see apriori.CeilCount): a
+// support expressible as an integral fraction of n must not round up.
 func ceilCount(frac float64, n int) int {
-	c := int(frac * float64(n))
-	if float64(c) < frac*float64(n) {
-		c++
-	}
-	if c < 1 {
-		c = 1
-	}
-	return c
+	return apriori.CeilCount(frac, n)
 }
 
 // BuildHoldTable runs the shared level-wise pass over tbl. Each level
@@ -114,15 +109,33 @@ func BuildHoldTable(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
 		}
 	})
 	var l1 []itemset.Set
+	var l1Occurrences int64
 	for x, v := range c1 {
 		if h.frequentSomewhere(v) {
 			s := itemset.Set{x}
 			l1 = append(l1, s)
 			h.counts[s.Key()] = v
+			for _, c := range v {
+				l1Occurrences += int64(c)
+			}
 		}
 	}
 	itemset.SortSets(l1)
 	h.ByK = append(h.ByK, l1)
+
+	// Resolve the counting backend from the level-1 statistics: total
+	// active transactions, frequent items and their occurrences.
+	backend := cfg.Backend
+	if backend == apriori.BackendAuto {
+		nActiveTx := 0
+		for gi, txc := range h.TxCounts {
+			if h.Active[gi] {
+				nActiveTx += txc
+			}
+		}
+		backend = apriori.ChooseAuto(nActiveTx, len(l1), l1Occurrences)
+	}
+	var bm *granuleBitmap
 
 	prev := l1
 	for k := 2; len(prev) > 1 && (cfg.MaxK == 0 || k <= cfg.MaxK); k++ {
@@ -131,9 +144,17 @@ func BuildHoldTable(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
 			break
 		}
 		var perGranule [][]int32
-		if cfg.Workers > 1 {
+		switch {
+		case backend == apriori.BackendBitmap:
+			if bm == nil {
+				bm = h.buildGranuleBitmap(tbl, l1)
+			}
+			perGranule = bm.count(h, cands, cfg.Workers)
+		case backend == apriori.BackendNaive:
+			perGranule = h.countPerGranuleNaive(tbl, cands)
+		case cfg.Workers > 1:
 			perGranule, err = h.countPerGranuleParallel(tbl, cands, k, cfg.Workers)
-		} else {
+		default:
 			perGranule, err = h.countPerGranule(tbl, cands, k)
 		}
 		if err != nil {
@@ -209,6 +230,110 @@ func (h *HoldTable) countPerGranule(tbl *tdb.TxTable, cands []itemset.Set, k int
 	})
 	flush()
 	return out, nil
+}
+
+// granuleBitmap is the vertical counting state of a hold-table build:
+// one TID-bitmap index over the active-granule transactions (rows
+// numbered in time order) plus each granule's row range. A candidate's
+// per-granule counts then come from a single bitmap intersection
+// followed by one range popcount per granule — the per-granule pass no
+// longer rebuilds any per-level structure per granule.
+type granuleBitmap struct {
+	ix    *apriori.BitmapIndex
+	rowLo []int // first row of granule gi (inactive granules are empty)
+	rowHi []int // one past the last row of granule gi
+}
+
+// buildGranuleBitmap ingests the span once. Transactions arrive in
+// time order, so each active granule occupies the contiguous row range
+// given by the prefix sums of its transaction counts; only items of
+// the granule-frequent 1-itemsets are indexed, since no other item can
+// appear in a candidate.
+func (h *HoldTable) buildGranuleBitmap(tbl *tdb.TxTable, l1 []itemset.Set) *granuleBitmap {
+	n := h.NGranules()
+	g := &granuleBitmap{rowLo: make([]int, n), rowHi: make([]int, n)}
+	rows := 0
+	for gi := 0; gi < n; gi++ {
+		g.rowLo[gi] = rows
+		if h.Active[gi] {
+			rows += h.TxCounts[gi]
+		}
+		g.rowHi[gi] = rows
+	}
+	keep := make(map[itemset.Item]bool, len(l1))
+	for _, s := range l1 {
+		keep[s[0]] = true
+	}
+	src := apriori.FuncSource{
+		N: rows,
+		Scan: func(fn func(tx itemset.Set)) {
+			h.eachActiveTx(tbl, func(gi int, tx itemset.Set) { fn(tx) })
+		},
+	}
+	g.ix = apriori.NewBitmapIndex(src, keep)
+	return g
+}
+
+// count produces the per-granule count matrix of one candidate level.
+// workers > 1 splits the sorted candidate list into contiguous chunks
+// (keeping the prefix-intersection reuse inside each chunk); workers
+// write disjoint rows of the output, so any worker count produces the
+// same matrix.
+func (g *granuleBitmap) count(h *HoldTable, cands []itemset.Set, workers int) [][]int32 {
+	out := make([][]int32, len(cands))
+	for i := range out {
+		out[i] = make([]int32, h.NGranules())
+	}
+	countChunk := func(lo, hi int) {
+		g.ix.EachIntersection(cands[lo:hi], func(i int, words []uint64) {
+			v := out[lo+i]
+			for gi := range v {
+				if c := apriori.PopcountRange(words, g.rowLo[gi], g.rowHi[gi]); c != 0 {
+					v[gi] = int32(c)
+				}
+			}
+		})
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		countChunk(0, len(cands))
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(cands) + workers - 1) / workers
+	for lo := 0; lo < len(cands); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			countChunk(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// countPerGranuleNaive is the reference per-granule counter: a direct
+// subset test of every candidate against every transaction. It exists
+// so the cross-backend property tests have a trivially-correct anchor.
+func (h *HoldTable) countPerGranuleNaive(tbl *tdb.TxTable, cands []itemset.Set) [][]int32 {
+	out := make([][]int32, len(cands))
+	for i := range out {
+		out[i] = make([]int32, h.NGranules())
+	}
+	h.eachActiveTx(tbl, func(gi int, tx itemset.Set) {
+		for i, c := range cands {
+			if tx.ContainsAll(c) {
+				out[i][gi]++
+			}
+		}
+	})
+	return out
 }
 
 // countPerGranuleParallel splits the span into contiguous granule

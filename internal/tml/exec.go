@@ -18,6 +18,13 @@ import (
 // and mining output uniformly.
 type Executor struct {
 	db *tdb.DB
+
+	// Backend and Workers are applied to the mining config of every
+	// statement; the CLI front ends set them from their -backend and
+	// -workers flags. Zero values mean auto selection and sequential
+	// counting.
+	Backend apriori.Backend
+	Workers int
 }
 
 // NewExecutor wraps a database.
@@ -47,6 +54,8 @@ func (e *Executor) ExecStmt(stmt *MineStmt) (*minisql.Result, error) {
 		MinConfidence: stmt.Confidence,
 		MinFreq:       stmt.defaultFrequency(),
 		MaxK:          stmt.MaxSize,
+		Backend:       e.Backend,
+		Workers:       e.Workers,
 	}
 	switch stmt.Target {
 	case TargetRules:
@@ -160,7 +169,7 @@ func pruneOptions(stmt *MineStmt, n int) (prune.Options, bool) {
 }
 
 func (e *Executor) execTraditional(tbl *tdb.TxTable, stmt *MineStmt) (*minisql.Result, error) {
-	rules, err := core.MineTraditional(tbl, stmt.Support, stmt.Confidence, stmt.MaxSize)
+	rules, err := core.MineTraditionalWith(tbl, stmt.Support, stmt.Confidence, stmt.MaxSize, e.Backend, e.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -143,6 +143,26 @@ func LoadTxTableSegmented(dir string) (*TxTable, SegmentConfig, error) {
 // NewMemDB returns an in-memory database.
 func NewMemDB() *DB { return tdb.NewMemDB() }
 
+// CountingBackend selects the support-counting strategy of the miners:
+// BackendAuto picks per run from the data shape, BackendBitmap is the
+// vertical TID-bitmap backend, BackendHashTree the classic Apriori hash
+// tree and BackendNaive the reference subset test. Set it on
+// Config.Backend (temporal tasks) or choose it via the -backend flag of
+// the CLI front ends.
+type CountingBackend = apriori.Backend
+
+// Counting backends.
+const (
+	BackendAuto     = apriori.BackendAuto
+	BackendNaive    = apriori.BackendNaive
+	BackendHashTree = apriori.BackendHashTree
+	BackendBitmap   = apriori.BackendBitmap
+)
+
+// ParseBackend parses a backend name ("auto", "naive", "hashtree",
+// "bitmap") as used by the -backend CLI flag.
+func ParseBackend(s string) (CountingBackend, error) { return apriori.ParseBackend(s) }
+
 // Mining configuration.
 type (
 	// Config carries the shared temporal mining thresholds.
