@@ -7,6 +7,7 @@
 //
 //	iqms -db ./data          # open or create a database directory
 //	iqms -db ./data -f run.sql  # execute a script, then exit
+//	iqms -db ./data -metrics :6060  # serve /metrics, /debug/vars, /debug/pprof
 //
 // Inside the REPL:
 //
@@ -20,11 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/minisql"
+	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/tml"
 )
@@ -34,6 +38,7 @@ func main() {
 	script := flag.String("f", "", "execute statements from this file and exit")
 	backendName := flag.String("backend", "auto", "counting backend: auto, naive, hashtree or bitmap")
 	workers := flag.Int("workers", 0, "parallel counting workers (0 = sequential)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	backend, err := apriori.ParseBackend(*backendName)
@@ -56,6 +61,13 @@ func main() {
 	session.TML.Backend = backend
 	session.TML.Workers = *workers
 
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr, session); err != nil {
+			fmt.Fprintln(os.Stderr, "iqms:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *script != "" {
 		f, err := os.Open(*script)
 		if err != nil {
@@ -63,24 +75,43 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := run(session, db, f, os.Stdout, false); err != nil {
+		if err := run(session, db, f, os.Stdout, os.Stderr, false); err != nil {
 			fmt.Fprintln(os.Stderr, "iqms:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	fmt.Println("IQMS — integrated query and mining system. \\help for help, \\quit to exit.")
-	if err := run(session, db, os.Stdin, os.Stdout, true); err != nil {
+	if err := run(session, db, os.Stdin, os.Stdout, os.Stderr, true); err != nil {
 		fmt.Fprintln(os.Stderr, "iqms:", err)
 		os.Exit(1)
 	}
 }
 
+// serveMetrics binds addr, serves the observability mux in the
+// background and folds every statement's telemetry into the default
+// metrics registry. Binding synchronously surfaces a bad address as a
+// startup error rather than a lost log line.
+func serveMetrics(addr string, session *tml.Session) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	session.TML.Tracer = obs.NewRegistryTracer(obs.Default, "")
+	fmt.Fprintf(os.Stderr, "iqms: metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, obs.DebugMux(obs.Default)); err != nil {
+			fmt.Fprintln(os.Stderr, "iqms: metrics server:", err)
+		}
+	}()
+	return nil
+}
+
 // run executes statements from r. Statements may span lines and end at
 // ';' (or at end of line for \-commands). In interactive mode errors
-// are printed and the loop continues; in script mode the first error
-// aborts.
-func run(session *tml.Session, db *tdb.DB, r io.Reader, w io.Writer, interactive bool) error {
+// are printed to errw and the loop continues — stdout stays clean for
+// result tables; in script mode the first error aborts.
+func run(session *tml.Session, db *tdb.DB, r io.Reader, w, errw io.Writer, interactive bool) error {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -103,7 +134,7 @@ func run(session *tml.Session, db *tdb.DB, r io.Reader, w io.Writer, interactive
 				if !interactive {
 					return err
 				}
-				fmt.Fprintln(w, "error:", err)
+				fmt.Fprintln(errw, "error:", err)
 			}
 			if done {
 				return nil
@@ -127,7 +158,7 @@ func run(session *tml.Session, db *tdb.DB, r io.Reader, w io.Writer, interactive
 			if !interactive {
 				return err
 			}
-			fmt.Fprintln(w, "error:", err)
+			fmt.Fprintln(errw, "error:", err)
 		}
 		prompt()
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/tml"
 )
@@ -35,8 +36,8 @@ GROUP BY item;
 
 MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.6;
 `)
-	var out strings.Builder
-	if err := run(session, db, script, &out, false); err != nil {
+	var out, errs strings.Builder
+	if err := run(session, db, script, &out, &errs, false); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -49,8 +50,8 @@ func TestRunScriptAbortsOnError(t *testing.T) {
 	db := testDB(t)
 	session := tml.NewSession(db)
 	script := strings.NewReader("SELECT nope FROM baskets;\nSELECT 1 FROM baskets;")
-	var out strings.Builder
-	if err := run(session, db, script, &out, false); err == nil {
+	var out, errs strings.Builder
+	if err := run(session, db, script, &out, &errs, false); err == nil {
 		t.Error("script error not propagated")
 	}
 }
@@ -59,16 +60,19 @@ func TestRunInteractiveContinuesOnError(t *testing.T) {
 	db := testDB(t)
 	session := tml.NewSession(db)
 	input := strings.NewReader("SELECT nope FROM baskets;\nSHOW TABLES;\n\\quit\n")
-	var out strings.Builder
-	if err := run(session, db, input, &out, true); err != nil {
+	var out, errs strings.Builder
+	if err := run(session, db, input, &out, &errs, true); err != nil {
 		t.Fatal(err)
 	}
-	text := out.String()
-	if !strings.Contains(text, "error:") {
-		t.Errorf("error not surfaced:\n%s", text)
+	// Diagnostics land on the error stream, not stdout.
+	if !strings.Contains(errs.String(), "error:") {
+		t.Errorf("error not surfaced on stderr:\n%s", errs.String())
 	}
-	if !strings.Contains(text, "baskets") {
-		t.Errorf("session did not continue after error:\n%s", text)
+	if strings.Contains(out.String(), "error:") {
+		t.Errorf("error leaked to stdout:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "baskets") {
+		t.Errorf("session did not continue after error:\n%s", out.String())
 	}
 }
 
@@ -135,5 +139,31 @@ func TestImportExportCSV(t *testing.T) {
 	}
 	if _, err := metaCommand(`\export nosuch `+dir+`/x.csv`, db, &out); err == nil {
 		t.Error("export of unknown table accepted")
+	}
+}
+
+// TestServeMetrics boots the observability endpoint on an ephemeral
+// port, runs a MINE statement through the session and checks the
+// statement counter surfaced in the Prometheus text output.
+func TestServeMetrics(t *testing.T) {
+	db := testDB(t)
+	session := tml.NewSession(db)
+	if err := serveMetrics("127.0.0.1:0", session); err != nil {
+		t.Fatal(err)
+	}
+	if session.TML.Tracer == nil {
+		t.Fatal("metrics tracer not installed")
+	}
+	before := obs.Default.Counter("tarm_statements_total").Value()
+	var out, errs strings.Builder
+	input := strings.NewReader("MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5;\n")
+	if err := run(session, db, input, &out, &errs, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default.Counter("tarm_statements_total").Value(); got != before+1 {
+		t.Errorf("statements counter = %d, want %d", got, before+1)
+	}
+	if err := serveMetrics("256.0.0.1:bad", session); err == nil {
+		t.Error("bad metrics address accepted")
 	}
 }

@@ -5,12 +5,15 @@
 // Usage:
 //
 //	tarmine -db ./data -e "MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.1 CONFIDENCE 0.6"
+//	tarmine -db ./data -e "MINE ..." -stats stats.json   # dump mining telemetry
+//	tarmine -db ./data -e "MINE ..." -progress           # live per-pass progress on stderr
 //	tarmine -experiment e1          # one experiment
 //	tarmine -experiment all         # the full suite (slow)
 //	tarmine -backend bitmap -workers 4 -experiment e2
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +22,7 @@ import (
 	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/bench"
 	"github.com/tarm-project/tarm/internal/minisql"
+	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/tml"
 )
@@ -29,6 +33,8 @@ func main() {
 	experiment := flag.String("experiment", "", "experiment id (e1..e11) or 'all'")
 	backendName := flag.String("backend", "auto", "counting backend: auto, naive, hashtree or bitmap")
 	workers := flag.Int("workers", 0, "parallel counting workers (0 = sequential)")
+	statsPath := flag.String("stats", "", "write mining telemetry JSON to this file ('-' = stdout; the result table then goes to stderr)")
+	progress := flag.Bool("progress", false, "render per-pass mining progress to stderr")
 	flag.Parse()
 
 	backend, err := apriori.ParseBackend(*backendName)
@@ -38,6 +44,9 @@ func main() {
 	}
 	bench.Backend = backend
 	bench.Workers = *workers
+	if *progress {
+		bench.Tracer = obs.NewProgressTracer(os.Stderr)
+	}
 
 	switch {
 	case *experiment != "":
@@ -50,9 +59,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tarmine: -e needs -db")
 			os.Exit(2)
 		}
-		if err := execStatement(*dbDir, *stmt, backend, *workers, os.Stdout); err != nil {
+		var tracers []obs.Tracer
+		var collect *obs.CollectTracer
+		if *statsPath != "" {
+			collect = obs.NewCollectTracer()
+			tracers = append(tracers, collect)
+		}
+		if *progress {
+			tracers = append(tracers, obs.NewProgressTracer(os.Stderr))
+		}
+		// With -stats - the JSON owns stdout; the result table moves to
+		// stderr so both streams stay machine-readable.
+		out := io.Writer(os.Stdout)
+		if *statsPath == "-" {
+			out = os.Stderr
+		}
+		if err := execStatement(*dbDir, *stmt, backend, *workers, out, obs.Multi(tracers...)); err != nil {
 			fmt.Fprintln(os.Stderr, "tarmine:", err)
 			os.Exit(1)
+		}
+		if collect != nil {
+			if err := writeStats(*statsPath, *stmt, collect.Stats()); err != nil {
+				fmt.Fprintln(os.Stderr, "tarmine:", err)
+				os.Exit(1)
+			}
 		}
 	default:
 		flag.Usage()
@@ -60,8 +90,9 @@ func main() {
 	}
 }
 
-// execStatement opens the database and runs one TML or SQL statement.
-func execStatement(dbDir, stmt string, backend apriori.Backend, workers int, w io.Writer) error {
+// execStatement opens the database and runs one TML or SQL statement,
+// feeding any mining telemetry to tracer.
+func execStatement(dbDir, stmt string, backend apriori.Backend, workers int, w io.Writer, tracer obs.Tracer) error {
 	db, err := tdb.Open(dbDir)
 	if err != nil {
 		return err
@@ -69,12 +100,29 @@ func execStatement(dbDir, stmt string, backend apriori.Backend, workers int, w i
 	session := tml.NewSession(db)
 	session.TML.Backend = backend
 	session.TML.Workers = workers
+	session.TML.Tracer = tracer
 	res, err := session.Exec(stmt)
 	if err != nil {
 		return err
 	}
 	minisql.Format(w, res)
 	return nil
+}
+
+// writeStats dumps the collected MineStats as indented JSON; "-" writes
+// to stdout.
+func writeStats(path, stmt string, st *obs.MineStats) error {
+	st.Statement = stmt
+	buf, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
 }
 
 func runExperiments(id string) error {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -8,10 +10,12 @@ import (
 
 	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/tdb"
 )
 
-func TestExecStatement(t *testing.T) {
+func fixtureDir(t *testing.T) string {
+	t.Helper()
 	dir := filepath.Join(t.TempDir(), "db")
 	db, err := tdb.Open(dir)
 	if err != nil {
@@ -32,9 +36,13 @@ func TestExecStatement(t *testing.T) {
 	if err := db.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	return dir
+}
 
+func TestExecStatement(t *testing.T) {
+	dir := fixtureDir(t)
 	var out strings.Builder
-	if err := execStatement(dir, `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`, apriori.BackendBitmap, 2, &out); err != nil {
+	if err := execStatement(dir, `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`, apriori.BackendBitmap, 2, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "{bread}") {
@@ -42,15 +50,58 @@ func TestExecStatement(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := execStatement(dir, `SELECT COUNT(*) AS n FROM baskets`, apriori.BackendAuto, 0, &out); err != nil {
+	if err := execStatement(dir, `SELECT COUNT(*) AS n FROM baskets`, apriori.BackendAuto, 0, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "168") { // 14 days × 6 tx × 2 items
 		t.Errorf("SQL output: %q", out.String())
 	}
 
-	if err := execStatement(dir, `MINE garbage`, apriori.BackendAuto, 0, &out); err == nil {
+	if err := execStatement(dir, `MINE garbage`, apriori.BackendAuto, 0, &out, nil); err == nil {
 		t.Error("bad statement accepted")
+	}
+}
+
+// TestStatsDump drives the -stats path end to end: a traced statement
+// followed by writeStats must produce JSON with per-level counts and
+// the chosen backend.
+func TestStatsDump(t *testing.T) {
+	dir := fixtureDir(t)
+	collect := obs.NewCollectTracer()
+	var progress, out strings.Builder
+	tracer := obs.Multi(collect, obs.NewProgressTracer(&progress))
+	stmt := `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`
+	if err := execStatement(dir, stmt, apriori.BackendBitmap, 1, &out, tracer); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "stats.json")
+	if err := writeStats(path, stmt, collect.Stats()); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st obs.MineStats
+	if err := json.Unmarshal(buf, &st); err != nil {
+		t.Fatalf("stats JSON invalid: %v\n%s", err, buf)
+	}
+	if st.Statement != stmt {
+		t.Errorf("statement = %q", st.Statement)
+	}
+	if len(st.Levels) == 0 {
+		t.Fatal("no levels in stats JSON")
+	}
+	for _, l := range st.Levels {
+		if l.Pruned+l.Counted != l.Generated {
+			t.Errorf("L%d pruned %d + counted %d != generated %d", l.Level, l.Pruned, l.Counted, l.Generated)
+		}
+	}
+	if st.Backend != "bitmap" {
+		t.Errorf("backend = %q, want bitmap", st.Backend)
+	}
+	if !strings.Contains(progress.String(), "frequent") {
+		t.Errorf("progress output: %q", progress.String())
 	}
 }
 

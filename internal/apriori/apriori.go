@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/obs"
 )
 
 // Config tunes a mining run. The zero value is not usable: MinSupport
@@ -34,6 +36,10 @@ type Config struct {
 	// subset test. Deprecated: set Backend to BackendNaive instead; the
 	// flag is honoured only while Backend is BackendAuto.
 	NaiveCounting bool
+	// Tracer receives per-pass telemetry (candidates generated, pruned,
+	// counted, frequent survivors, backend, wall time). Nil disables
+	// tracing at no measurable cost; see internal/obs.
+	Tracer obs.Tracer
 }
 
 // minCount resolves the absolute threshold for n transactions.
@@ -51,9 +57,24 @@ func (c Config) minCount(n int) (int, error) {
 // epsilon so that products the caller means to be integral do not round
 // up a whole count: 0.15·20 evaluates to 3.0000000000000004 in float64,
 // and a naive ceiling would demand 4 of 20 transactions instead of 3.
+// Exact-integer products stay exact: CeilCount(0.25, 8) == 2 and
+// CeilCount(1, n) == n.
+//
+// The ≥1 clamp defines the degenerate corners: frac == 0 and n == 0
+// both yield 1, so a threshold over an empty population (or a zero
+// support) still demands at least one supporting transaction — nothing
+// becomes "frequent" vacuously.
 func CeilCount(frac float64, n int) int {
 	v := frac * float64(n)
-	c := int(math.Ceil(v - 1e-9*math.Max(1, v)))
+	// The epsilon is relative so ulp-scale product noise is absorbed at
+	// any magnitude, but capped below one whole count: past ~5e8 a
+	// relative 1e-9 exceeds 1.0 and would swallow a legitimate unit
+	// (CeilCount(1, 1<<30) must be 1<<30, not one less).
+	eps := 1e-9 * math.Max(1, v)
+	if eps > 0.5 {
+		eps = 0.5
+	}
+	c := int(math.Ceil(v - eps))
 	if c < 1 {
 		c = 1
 	}
@@ -136,8 +157,19 @@ func Mine(src Source, cfg Config) (*Frequent, error) {
 		MinCount: minCount,
 		ByK:      [][]ItemsetCount{nil},
 	}
+	tr := obs.OrNop(cfg.Tracer)
+	trace := tr.Enabled()
+	if trace {
+		tr.StartTask("apriori.Mine")
+		defer tr.EndTask()
+	}
 
 	// Level 1: one pass with a plain counter map.
+	var t0 time.Time
+	if trace {
+		tr.StartPass(1)
+		t0 = time.Now()
+	}
 	c1 := make(map[itemset.Item]int)
 	src.ForEach(func(tx itemset.Set) {
 		for _, x := range tx {
@@ -152,6 +184,12 @@ func Mine(src Source, cfg Config) (*Frequent, error) {
 	}
 	sort.Slice(l1, func(i, j int) bool { return l1[i].Set.Compare(l1[j].Set) < 0 })
 	res.ByK = append(res.ByK, l1)
+	if trace {
+		tr.EndPass(obs.PassStats{
+			Level: 1, Generated: len(c1), Counted: len(c1), Frequent: len(l1),
+			Rows: int64(n), Backend: "scan", Duration: time.Since(t0),
+		})
+	}
 	// Pre-size the lookup map from the L1 level: most frequent itemsets
 	// are pairs of frequent items, so 2·|L1| is a cheap lower-variance
 	// guess that avoids the early growth rehashes.
@@ -160,14 +198,24 @@ func Mine(src Source, cfg Config) (*Frequent, error) {
 		res.counts[ic.Set.Key()] = ic.Count
 	}
 
-	counter, err := cfg.newCounter(src, l1)
+	counter, backend, err := cfg.newCounter(src, l1)
 	if err != nil {
 		return nil, err
 	}
 	prev := l1
 	for k := 2; len(prev) > 0 && (cfg.MaxK == 0 || k <= cfg.MaxK); k++ {
-		cands := GenerateCandidates(prev)
+		if trace {
+			tr.StartPass(k)
+			t0 = time.Now()
+		}
+		cands, nGen, nPruned := generateCandidates(prev)
 		if len(cands) == 0 {
+			if trace {
+				tr.EndPass(obs.PassStats{
+					Level: k, Generated: nGen, Pruned: nPruned,
+					Backend: backend.String(), Duration: time.Since(t0),
+				})
+			}
 			break
 		}
 		counts, err := counter.CountLevel(cands, k)
@@ -183,6 +231,16 @@ func Mine(src Source, cfg Config) (*Frequent, error) {
 		}
 		res.ByK = append(res.ByK, level)
 		prev = level
+		if trace {
+			tr.EndPass(obs.PassStats{
+				Level: k, Generated: nGen, Pruned: nPruned, Counted: len(cands),
+				Frequent: len(level), Rows: int64(n),
+				Backend: backend.String(), Duration: time.Since(t0),
+			})
+		}
+	}
+	if trace {
+		tr.Counter(obs.MetricItemsetsFrequent, int64(res.TotalItemsets()))
 	}
 	return res, nil
 }
@@ -192,14 +250,29 @@ func Mine(src Source, cfg Config) (*Frequent, error) {
 // k-subset of a candidate must itself be frequent). The input must be
 // in canonical order, as produced by Mine.
 func GenerateCandidates(level []ItemsetCount) []itemset.Set {
+	out, _, _ := generateCandidates(level)
+	return out
+}
+
+// GenerateCandidatesCounted is GenerateCandidates with pass telemetry:
+// it also reports how many candidates the join produced (generated) and
+// how many the subset prune removed (pruned); len(out) equals
+// generated-pruned. The hold-table build uses it for its pass stats.
+func GenerateCandidatesCounted(level []ItemsetCount) (out []itemset.Set, generated, pruned int) {
+	return generateCandidates(level)
+}
+
+// generateCandidates is GenerateCandidates with pass telemetry: it also
+// reports how many candidates the join produced (generated) and how
+// many the subset prune removed (pruned); len(out) == generated-pruned.
+func generateCandidates(level []ItemsetCount) (out []itemset.Set, generated, pruned int) {
 	if len(level) < 2 {
-		return nil
+		return nil, 0, 0
 	}
 	freq := make(map[string]bool, len(level))
 	for _, ic := range level {
 		freq[ic.Set.Key()] = true
 	}
-	var out []itemset.Set
 	for i := 0; i < len(level); i++ {
 		for j := i + 1; j < len(level); j++ {
 			cand, ok := level[i].Set.JoinPrefix(level[j].Set)
@@ -208,13 +281,15 @@ func GenerateCandidates(level []ItemsetCount) []itemset.Set {
 				// later j can share it either.
 				break
 			}
+			generated++
 			if aprioriPruned(cand, freq) {
+				pruned++
 				continue
 			}
 			out = append(out, cand)
 		}
 	}
-	return out
+	return out, generated, pruned
 }
 
 // aprioriPruned reports whether cand has a (k-1)-subset that is not

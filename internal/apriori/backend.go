@@ -149,11 +149,12 @@ func (c Config) resolvedBackend() Backend {
 // newCounter builds the counter for src given the level-1 result: l1
 // carries the frequent 1-itemsets with their counts, which the bitmap
 // backend uses to index only items that can appear in a candidate and
-// the auto heuristic reads for density.
-func (c Config) newCounter(src Source, l1 []ItemsetCount) (Counter, error) {
+// the auto heuristic reads for density. The resolved backend is
+// returned alongside so the caller can report which one actually ran.
+func (c Config) newCounter(src Source, l1 []ItemsetCount) (Counter, Backend, error) {
 	b := c.resolvedBackend()
 	if !b.Valid() {
-		return nil, fmt.Errorf("apriori: invalid counting backend %d", int(b))
+		return nil, b, fmt.Errorf("apriori: invalid counting backend %d", int(b))
 	}
 	if b == BackendAuto {
 		var occ int64
@@ -164,15 +165,15 @@ func (c Config) newCounter(src Source, l1 []ItemsetCount) (Counter, error) {
 	}
 	switch b {
 	case BackendNaive:
-		return naiveCounter{src: src}, nil
+		return naiveCounter{src: src}, b, nil
 	case BackendBitmap:
 		keep := make(map[itemset.Item]bool, len(l1))
 		for _, ic := range l1 {
 			keep[ic.Set[0]] = true
 		}
-		return &bitmapCounter{src: src, keep: keep, workers: c.Workers}, nil
+		return &bitmapCounter{src: src, keep: keep, workers: c.Workers}, b, nil
 	default:
-		return hashTreeCounter{src: src, fanout: c.Fanout, leaf: c.LeafSize}, nil
+		return hashTreeCounter{src: src, fanout: c.Fanout, leaf: c.LeafSize}, b, nil
 	}
 }
 

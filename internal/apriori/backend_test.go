@@ -65,6 +65,42 @@ func TestCeilCountBoundaries(t *testing.T) {
 	}
 }
 
+// TestCeilCountEdges pins the contract at the degenerate corners: the
+// ≥1 clamp (frac = 0, n = 0), the identity at frac = 1, and
+// exact-integer fractions that must not round up.
+func TestCeilCountEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		frac float64
+		n    int
+		want int
+	}{
+		{"empty population", 0.5, 0, 1},
+		{"zero fraction", 0, 100, 1},
+		{"zero fraction, empty", 0, 0, 1},
+		{"full support small", 1, 1, 1},
+		{"full support", 1, 1000, 1000},
+		{"full support large", 1, 1 << 30, 1 << 30},
+		{"exact quarter", 0.25, 8, 2},
+		{"exact half", 0.5, 2, 1},
+		{"exact tenth", 0.1, 50, 5},
+		{"exact eighth", 0.125, 64, 8},
+		{"just above integral", 0.25000001, 8, 3},
+		{"just below one item", 0.0001, 5, 1},
+	}
+	for _, c := range cases {
+		if got := CeilCount(c.frac, c.n); got != c.want {
+			t.Errorf("%s: CeilCount(%v, %d) = %d, want %d", c.name, c.frac, c.n, got, c.want)
+		}
+	}
+	// minCount rejects out-of-range supports rather than clamping them.
+	for _, frac := range []float64{0, -0.5, 1.5} {
+		if _, err := (Config{MinSupport: frac}).minCount(10); err == nil {
+			t.Errorf("minCount accepted MinSupport %v", frac)
+		}
+	}
+}
+
 func TestBitmapIndexMatchesNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	var txs Transactions

@@ -6,14 +6,17 @@ import (
 
 	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/gen"
+	"github.com/tarm-project/tarm/internal/obs"
 )
 
-// Backend and Workers are folded by Cfg into every experiment's mining
-// config; cmd/tarmine sets them from its -backend and -workers flags so
-// the whole experiment suite can be re-run on any counting backend.
+// Backend, Workers and Tracer are folded by Cfg into every experiment's
+// mining config; cmd/tarmine sets them from its -backend, -workers and
+// telemetry flags so the whole experiment suite can be re-run on any
+// counting backend, with or without tracing.
 var (
 	Backend apriori.Backend
 	Workers int
+	Tracer  obs.Tracer
 )
 
 // E11CountingBackends is the counting-backend ablation: flat Apriori

@@ -23,6 +23,7 @@ func Cfg() core.Config {
 		MaxK:          3,
 		Backend:       Backend,
 		Workers:       Workers,
+		Tracer:        Tracer,
 	}
 }
 

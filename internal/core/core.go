@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/timegran"
 )
 
@@ -57,7 +58,14 @@ type Config struct {
 	// pass (auto, naive, hashtree, bitmap); see the apriori package.
 	// Auto picks from the data shape after the level-1 scan.
 	Backend apriori.Backend
+	// Tracer receives per-pass telemetry from the hold-table build and
+	// per-task counters from the mining task drivers. Nil disables
+	// tracing at no measurable cost; see internal/obs.
+	Tracer obs.Tracer
 }
+
+// tracer resolves the configured tracer, mapping nil to the no-op.
+func (c Config) tracer() obs.Tracer { return obs.OrNop(c.Tracer) }
 
 // normalise validates and fills defaults.
 func (c Config) normalise() (Config, error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/timegran"
 )
@@ -59,6 +60,10 @@ func MineCyclesFromTable(h *HoldTable, ccfg CycleConfig) ([]CyclicRule, error) {
 	if err != nil {
 		return nil, err
 	}
+	if tr := h.Cfg.tracer(); tr.Enabled() {
+		tr.StartTask("task:cycles")
+		defer tr.EndTask()
+	}
 	var out []CyclicRule
 	h.EachRuleCandidate(func(rc RuleCandidate) bool {
 		hold, ok := h.Holds(rc)
@@ -88,6 +93,7 @@ func MineCyclesFromTable(h *HoldTable, ccfg CycleConfig) ([]CyclicRule, error) {
 		return true
 	})
 	sortCyclicRules(out)
+	h.Cfg.tracer().Counter(obs.MetricRulesEmitted, int64(len(out)))
 	return out, nil
 }
 
@@ -240,6 +246,10 @@ func MineCalendarPeriodicitiesFromTable(h *HoldTable, ccfg CycleConfig) ([]Calen
 	if err != nil {
 		return nil, err
 	}
+	if tr := h.Cfg.tracer(); tr.Enabled() {
+		tr.StartTask("task:calendars")
+		defer tr.EndTask()
+	}
 	fields := calendarFieldsFor(h.Cfg.Granularity)
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("core: no calendar folding defined for granularity %v", h.Cfg.Granularity)
@@ -335,5 +345,6 @@ func MineCalendarPeriodicitiesFromTable(h *HoldTable, ccfg CycleConfig) ([]Calen
 		}
 		return out[i].Feature.String() < out[j].Feature.String()
 	})
+	h.Cfg.tracer().Counter(obs.MetricRulesEmitted, int64(len(out)))
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/timegran"
 )
@@ -36,6 +37,10 @@ func MineDuring(tbl *tdb.TxTable, cfg Config, feature timegran.Pattern) ([]Tempo
 func MineDuringFromTable(h *HoldTable, feature timegran.Pattern) ([]TemporalRule, error) {
 	if feature == nil {
 		return nil, fmt.Errorf("core: MineDuring needs a temporal feature")
+	}
+	if tr := h.Cfg.tracer(); tr.Enabled() {
+		tr.StartTask("task:during")
+		defer tr.EndTask()
 	}
 	// Materialise the feature over the span once.
 	inFeature := make([]bool, h.NGranules())
@@ -81,6 +86,7 @@ func MineDuringFromTable(h *HoldTable, feature timegran.Pattern) ([]TemporalRule
 		return true
 	})
 	SortTemporalRules(out)
+	h.Cfg.tracer().Counter(obs.MetricRulesEmitted, int64(len(out)))
 	return out, nil
 }
 
@@ -99,17 +105,20 @@ func MineDuringExpr(tbl *tdb.TxTable, cfg Config, expr string) ([]TemporalRule, 
 // against the temporal miners to count the rules a traditional approach
 // misses.
 func MineTraditional(tbl *tdb.TxTable, minSupport, minConfidence float64, maxK int) ([]apriori.Rule, error) {
-	return MineTraditionalWith(tbl, minSupport, minConfidence, maxK, apriori.BackendAuto, 0)
+	return MineTraditionalWith(tbl, minSupport, minConfidence, maxK, apriori.BackendAuto, 0, nil)
 }
 
 // MineTraditionalWith is MineTraditional with an explicit counting
-// backend and worker count; the CLI front ends thread their -backend
-// and -workers flags through here.
-func MineTraditionalWith(tbl *tdb.TxTable, minSupport, minConfidence float64, maxK int, backend apriori.Backend, workers int) ([]apriori.Rule, error) {
+// backend, worker count and tracer; the CLI front ends thread their
+// -backend and -workers flags (and any telemetry sink) through here.
+func MineTraditionalWith(tbl *tdb.TxTable, minSupport, minConfidence float64, maxK int, backend apriori.Backend, workers int, tracer obs.Tracer) ([]apriori.Rule, error) {
 	_, rules, err := apriori.MineRules(
 		tbl.All(),
-		apriori.Config{MinSupport: minSupport, MaxK: maxK, Backend: backend, Workers: workers},
+		apriori.Config{MinSupport: minSupport, MaxK: maxK, Backend: backend, Workers: workers, Tracer: tracer},
 		apriori.RuleConfig{MinConfidence: minConfidence},
 	)
+	if err == nil {
+		obs.OrNop(tracer).Counter(obs.MetricRulesEmitted, int64(len(rules)))
+	}
 	return rules, err
 }

@@ -146,7 +146,7 @@ func (h *HoldTable) Extend(tbl *tdb.TxTable) (*HoldTable, error) {
 	// over the whole span.
 	prev := l1
 	for k := 2; len(prev) > 1 && (nh.Cfg.MaxK == 0 || k <= nh.Cfg.MaxK); k++ {
-		cands := generateFromSets(prev)
+		cands, _, _ := generateFromSets(prev)
 		if len(cands) == 0 {
 			break
 		}

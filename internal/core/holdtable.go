@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/timegran"
 )
@@ -95,8 +97,27 @@ func BuildHoldTable(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
 	if h.NActive == 0 {
 		return nil, fmt.Errorf("core: no granule has at least %d transactions", cfg.MinGranuleTx)
 	}
+	nActiveTx := 0
+	for gi, txc := range h.TxCounts {
+		if h.Active[gi] {
+			nActiveTx += txc
+		}
+	}
+	tr := cfg.tracer()
+	trace := tr.Enabled()
+	if trace {
+		tr.StartTask("core.BuildHoldTable")
+		defer tr.EndTask()
+		tr.Gauge(obs.MetricGranules, float64(n))
+		tr.Gauge(obs.MetricGranulesActive, float64(h.NActive))
+	}
 
 	// Level 1: plain per-item counters.
+	var t0 time.Time
+	if trace {
+		tr.StartPass(1)
+		t0 = time.Now()
+	}
 	c1 := make(map[itemset.Item][]int32)
 	h.eachActiveTx(tbl, func(gi int, tx itemset.Set) {
 		for _, x := range tx {
@@ -122,25 +143,35 @@ func BuildHoldTable(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
 	}
 	itemset.SortSets(l1)
 	h.ByK = append(h.ByK, l1)
+	if trace {
+		tr.EndPass(obs.PassStats{
+			Level: 1, Generated: len(c1), Counted: len(c1), Frequent: len(l1),
+			Rows: int64(nActiveTx), Backend: "scan", Duration: time.Since(t0),
+		})
+	}
 
 	// Resolve the counting backend from the level-1 statistics: total
 	// active transactions, frequent items and their occurrences.
 	backend := cfg.Backend
 	if backend == apriori.BackendAuto {
-		nActiveTx := 0
-		for gi, txc := range h.TxCounts {
-			if h.Active[gi] {
-				nActiveTx += txc
-			}
-		}
 		backend = apriori.ChooseAuto(nActiveTx, len(l1), l1Occurrences)
 	}
 	var bm *granuleBitmap
 
 	prev := l1
 	for k := 2; len(prev) > 1 && (cfg.MaxK == 0 || k <= cfg.MaxK); k++ {
-		cands := generateFromSets(prev)
+		if trace {
+			tr.StartPass(k)
+			t0 = time.Now()
+		}
+		cands, nGen, nPruned := generateFromSets(prev)
 		if len(cands) == 0 {
+			if trace {
+				tr.EndPass(obs.PassStats{
+					Level: k, Generated: nGen, Pruned: nPruned,
+					Backend: backend.String(), Duration: time.Since(t0),
+				})
+			}
 			break
 		}
 		var perGranule [][]int32
@@ -169,6 +200,17 @@ func BuildHoldTable(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
 		}
 		h.ByK = append(h.ByK, level)
 		prev = level
+		if trace {
+			tr.EndPass(obs.PassStats{
+				Level: k, Generated: nGen, Pruned: nPruned, Counted: len(cands),
+				Frequent: len(level), Rows: int64(nActiveTx),
+				Backend: backend.String(), Duration: time.Since(t0),
+			})
+		}
+	}
+	if trace {
+		tr.Counter(obs.MetricItemsetsFrequent, int64(h.TotalItemsets()))
+		tr.Gauge(obs.MetricHoldCells, float64(h.TotalItemsets())*float64(h.NGranules()))
 	}
 	return h, nil
 }
@@ -395,13 +437,13 @@ func (h *HoldTable) countPerGranuleParallel(tbl *tdb.TxTable, cands []itemset.Se
 }
 
 // generateFromSets is the Apriori join+prune over a sorted level of
-// plain sets.
-func generateFromSets(level []itemset.Set) []itemset.Set {
+// plain sets, reporting the join/prune counts for pass telemetry.
+func generateFromSets(level []itemset.Set) (cands []itemset.Set, generated, pruned int) {
 	ics := make([]apriori.ItemsetCount, len(level))
 	for i, s := range level {
 		ics[i] = apriori.ItemsetCount{Set: s}
 	}
-	return apriori.GenerateCandidates(ics)
+	return apriori.GenerateCandidatesCounted(ics)
 }
 
 // RuleCandidate is one potential temporal rule considered by the

@@ -72,7 +72,8 @@ func MineItemsetCyclesSequential(tbl *tdb.TxTable, cfg Config, ccfg CycleConfig)
 	// The sequential miner counts every level's candidates in every
 	// active granule; reconstruct that work measure for levels k ≥ 2.
 	for k := 2; k < len(h.ByK); k++ {
-		nCands := int64(len(generateFromSets(h.ByK[k-1])))
+		cands, _, _ := generateFromSets(h.ByK[k-1])
+		nCands := int64(len(cands))
 		stats.Candidates += nCands
 		stats.CandidateGranulePairs += nCands * int64(h.NActive)
 		stats.GranulesScanned += int64(h.NActive)

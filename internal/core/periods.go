@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/timegran"
 )
@@ -53,6 +54,10 @@ func MineValidPeriodsFromTable(h *HoldTable, pcfg PeriodConfig) ([]PeriodRule, e
 	if err != nil {
 		return nil, err
 	}
+	if tr := h.Cfg.tracer(); tr.Enabled() {
+		tr.StartTask("task:periods")
+		defer tr.EndTask()
+	}
 	var out []PeriodRule
 	h.EachRuleCandidate(func(rc RuleCandidate) bool {
 		hold, ok := h.Holds(rc)
@@ -97,6 +102,7 @@ func MineValidPeriodsFromTable(h *HoldTable, pcfg PeriodConfig) ([]PeriodRule, e
 		return true
 	})
 	sortPeriodRules(out)
+	h.Cfg.tracer().Counter(obs.MetricRulesEmitted, int64(len(out)))
 	return out, nil
 }
 

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// LevelStats is one pass of a collected mining run, JSON-shaped for
+// `tarmine -stats`.
+type LevelStats struct {
+	Level     int    `json:"level"`
+	Generated int    `json:"generated"`
+	Pruned    int    `json:"pruned"`
+	Counted   int    `json:"counted"`
+	Frequent  int    `json:"frequent"`
+	Rows      int64  `json:"rows"`
+	Backend   string `json:"backend,omitempty"`
+	WallNS    int64  `json:"wall_ns"`
+}
+
+// TaskStats is one completed task span of a collected run.
+type TaskStats struct {
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+// MineStats is the structured result of a CollectTracer: everything a
+// mining run reported, ready for JSON dumping or assertions.
+type MineStats struct {
+	// Statement is the TML statement behind the run, when one was (set
+	// by the executor, not the tracer).
+	Statement string `json:"statement,omitempty"`
+	// Backend is the counting backend of the last level-wise pass that
+	// named one ("scan" passes excluded) — the backend the run's auto
+	// heuristic resolved to.
+	Backend string `json:"backend,omitempty"`
+	// Levels holds one entry per counting pass, in execution order. A
+	// statement that builds several structures (e.g. MINE HISTORY)
+	// appends all of their passes.
+	Levels []LevelStats `json:"levels"`
+	// Tasks holds the completed task spans in completion order.
+	Tasks []TaskStats `json:"tasks,omitempty"`
+	// Counters and Gauges accumulate every named metric the run
+	// emitted (rules_emitted, granules_active, hold_cells, …).
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	// WallNS is the total wall time of the outermost task spans.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// Level returns the stats of pass k, or nil.
+func (m *MineStats) Level(k int) *LevelStats {
+	for i := range m.Levels {
+		if m.Levels[i].Level == k {
+			return &m.Levels[i]
+		}
+	}
+	return nil
+}
+
+// TotalFrequent sums the frequent survivors over all passes.
+func (m *MineStats) TotalFrequent() int {
+	n := 0
+	for _, l := range m.Levels {
+		n += l.Frequent
+	}
+	return n
+}
+
+// TotalGenerated sums the generated candidates over all passes.
+func (m *MineStats) TotalGenerated() int {
+	n := 0
+	for _, l := range m.Levels {
+		n += l.Generated
+	}
+	return n
+}
+
+// CollectTracer accumulates MineStats. It is safe for concurrent use
+// and reusable: Reset clears it between runs.
+type CollectTracer struct {
+	mu    sync.Mutex
+	stats MineStats
+	spans []span // open task spans, innermost last
+}
+
+type span struct {
+	name string
+	t0   time.Time
+}
+
+// NewCollectTracer returns an empty collector.
+func NewCollectTracer() *CollectTracer { return &CollectTracer{} }
+
+// Enabled is always true.
+func (c *CollectTracer) Enabled() bool { return true }
+
+// StartTask opens a task span.
+func (c *CollectTracer) StartTask(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = append(c.spans, span{name: name, t0: time.Now()})
+}
+
+// EndTask closes the innermost span.
+func (c *CollectTracer) EndTask() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.spans) == 0 {
+		return
+	}
+	s := c.spans[len(c.spans)-1]
+	c.spans = c.spans[:len(c.spans)-1]
+	d := time.Since(s.t0).Nanoseconds()
+	c.stats.Tasks = append(c.stats.Tasks, TaskStats{Name: s.name, WallNS: d})
+	if len(c.spans) == 0 {
+		c.stats.WallNS += d
+	}
+}
+
+// StartPass is a no-op: the miner times the pass and reports it whole
+// in EndPass.
+func (c *CollectTracer) StartPass(int) {}
+
+// EndPass appends the pass.
+func (c *CollectTracer) EndPass(ps PassStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Levels = append(c.stats.Levels, LevelStats{
+		Level:     ps.Level,
+		Generated: ps.Generated,
+		Pruned:    ps.Pruned,
+		Counted:   ps.Counted,
+		Frequent:  ps.Frequent,
+		Rows:      ps.Rows,
+		Backend:   ps.Backend,
+		WallNS:    ps.Duration.Nanoseconds(),
+	})
+	if ps.Backend != "" && ps.Backend != "scan" {
+		c.stats.Backend = ps.Backend
+	}
+}
+
+// Counter accumulates a named counter.
+func (c *CollectTracer) Counter(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stats.Counters == nil {
+		c.stats.Counters = make(map[string]int64)
+	}
+	c.stats.Counters[name] += delta
+}
+
+// Gauge records the latest value of a named gauge.
+func (c *CollectTracer) Gauge(name string, v float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stats.Gauges == nil {
+		c.stats.Gauges = make(map[string]float64)
+	}
+	c.stats.Gauges[name] = v
+}
+
+// Stats returns a copy of everything collected so far.
+func (c *CollectTracer) Stats() *MineStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.stats
+	out.Levels = append([]LevelStats(nil), c.stats.Levels...)
+	out.Tasks = append([]TaskStats(nil), c.stats.Tasks...)
+	if c.stats.Counters != nil {
+		out.Counters = make(map[string]int64, len(c.stats.Counters))
+		for k, v := range c.stats.Counters {
+			out.Counters[k] = v
+		}
+	}
+	if c.stats.Gauges != nil {
+		out.Gauges = make(map[string]float64, len(c.stats.Gauges))
+		for k, v := range c.stats.Gauges {
+			out.Gauges[k] = v
+		}
+	}
+	return &out
+}
+
+// Reset clears the collector for reuse.
+func (c *CollectTracer) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = MineStats{}
+	c.spans = nil
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the registry in the Prometheus text format.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteProm(w)
+	})
+}
+
+// DebugMux builds the diagnostics endpoint map served by
+// `iqms -metrics`:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/vars    expvar JSON (includes the registry snapshot)
+//	/debug/pprof/  the standard pprof profiles
+//
+// The registry is also published under the expvar name "tarm_metrics".
+func DebugMux(reg *Registry) *http.ServeMux {
+	if reg == nil {
+		reg = Default
+	}
+	reg.PublishExpvar("tarm_metrics")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,167 @@
+// Package obs is the observability layer of the mining system: a
+// zero-dependency tracer for the level-wise mining passes, plus a
+// process-wide metrics registry published over expvar and a
+// Prometheus-style text endpoint.
+//
+// The miners (apriori.Mine, core.BuildHoldTable, the task drivers and
+// the TML executor) accept a Tracer through their configs and report
+// span-style events at *pass* granularity — a handful of calls per
+// mining run, never per transaction — so the instrumented hot paths
+// cost nothing measurable when the tracer is Nop (guarded by
+// BenchmarkTracerOverhead in internal/bench).
+//
+// Tracer implementations:
+//
+//   - NopTracer: discards everything; Enabled() is false so callers can
+//     skip even the cheap stat assembly.
+//   - CollectTracer: accumulates a structured MineStats (per-level
+//     candidate/prune/frequent counts, backend, wall time; per-task
+//     spans and counters), the payload behind `tarmine -stats`.
+//   - LogTracer: structured log/slog lines.
+//   - ProgressTracer: human-readable per-pass lines, the payload behind
+//     `tarmine -progress`.
+//   - RegistryTracer: folds events into a metrics Registry, the payload
+//     behind `iqms -metrics`.
+//
+// Multiple tracers compose with Multi.
+package obs
+
+import "time"
+
+// PassStats describes one completed level-wise counting pass. The
+// invariants every miner maintains (and the equivalence tests assert):
+// Pruned + Counted == Generated, and Frequent ≤ Counted.
+type PassStats struct {
+	// Level is the itemset size k of the pass (1 is the initial item
+	// scan).
+	Level int
+	// Generated is the number of candidates produced by the join before
+	// the apriori subset prune (for level 1: distinct items seen).
+	Generated int
+	// Pruned is the number of candidates removed by the apriori prune
+	// without being counted.
+	Pruned int
+	// Counted is the number of candidates whose support was counted.
+	Counted int
+	// Frequent is the number of candidates at/above the threshold
+	// (for the hold table: frequent in at least one active granule).
+	Frequent int
+	// Rows is the number of transactions scanned by the pass.
+	Rows int64
+	// Backend names the counting backend that ran the pass ("scan" for
+	// the level-1 item scan).
+	Backend string
+	// Duration is the wall time of the pass.
+	Duration time.Duration
+}
+
+// Tracer receives span-style events from a mining run. Implementations
+// must be safe for concurrent use: worker pools may emit counters from
+// several goroutines.
+type Tracer interface {
+	// Enabled reports whether events are consumed at all; miners may
+	// skip assembling stats when false.
+	Enabled() bool
+	// StartTask opens a named span ("apriori.Mine", "task:periods", …).
+	// Spans nest; EndTask closes the innermost open span.
+	StartTask(name string)
+	// EndTask closes the innermost open span.
+	EndTask()
+	// StartPass marks the beginning of the level-k counting pass.
+	StartPass(level int)
+	// EndPass delivers the completed pass's statistics.
+	EndPass(ps PassStats)
+	// Counter adds delta to a named monotonic counter (e.g.
+	// "rules_emitted").
+	Counter(name string, delta int64)
+	// Gauge sets a named point-in-time value (e.g. "granules_active").
+	Gauge(name string, v float64)
+}
+
+// Metric names shared by the miners, the collectors and the registry.
+const (
+	MetricRows             = "rows_scanned"      // transactions scanned (counter)
+	MetricRulesEmitted     = "rules_emitted"     // rules a task driver returned (counter)
+	MetricGranules         = "granules"          // span length of a hold-table build (gauge)
+	MetricGranulesActive   = "granules_active"   // active granules of a hold-table build (gauge)
+	MetricHoldCells        = "hold_cells"        // itemsets × granules retained by a hold table (gauge)
+	MetricItemsetsFrequent = "itemsets_frequent" // frequent (or granule-frequent) itemsets (counter)
+	MetricStatements       = "statements"        // TML statements executed (counter)
+)
+
+// NopTracer discards all events.
+type NopTracer struct{}
+
+// Nop is the shared no-op tracer; OrNop returns it for nil tracers.
+var Nop Tracer = NopTracer{}
+
+func (NopTracer) Enabled() bool         { return false }
+func (NopTracer) StartTask(string)      {}
+func (NopTracer) EndTask()              {}
+func (NopTracer) StartPass(int)         {}
+func (NopTracer) EndPass(PassStats)     {}
+func (NopTracer) Counter(string, int64) {}
+func (NopTracer) Gauge(string, float64) {}
+
+// OrNop maps nil to the shared no-op tracer so miners can call
+// unconditionally.
+func OrNop(t Tracer) Tracer {
+	if t == nil {
+		return Nop
+	}
+	return t
+}
+
+// Multi fans events out to every non-nil, non-nop tracer. It returns
+// Nop when nothing is left and the sole tracer unwrapped when only one
+// is.
+func Multi(ts ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range ts {
+		if t == nil || !t.Enabled() {
+			continue
+		}
+		live = append(live, t)
+	}
+	switch len(live) {
+	case 0:
+		return Nop
+	case 1:
+		return live[0]
+	}
+	return multiTracer(live)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Enabled() bool { return true }
+func (m multiTracer) StartTask(name string) {
+	for _, t := range m {
+		t.StartTask(name)
+	}
+}
+func (m multiTracer) EndTask() {
+	for _, t := range m {
+		t.EndTask()
+	}
+}
+func (m multiTracer) StartPass(level int) {
+	for _, t := range m {
+		t.StartPass(level)
+	}
+}
+func (m multiTracer) EndPass(ps PassStats) {
+	for _, t := range m {
+		t.EndPass(ps)
+	}
+}
+func (m multiTracer) Counter(name string, delta int64) {
+	for _, t := range m {
+		t.Counter(name, delta)
+	}
+}
+func (m multiTracer) Gauge(name string, v float64) {
+	for _, t := range m {
+		t.Gauge(name, v)
+	}
+}

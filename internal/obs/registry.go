@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic point-in-time float value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds delta to the gauge.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// defBuckets are the default histogram bounds: exponential seconds from
+// 1ms to ~100s, sized for mining-pass durations.
+var defBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100}
+
+// Histogram is a fixed-bucket atomic histogram (cumulative counts in
+// the Prometheus style).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds; nil selects the default duration buckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = defBuckets
+	}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Registry is a process-wide set of named metrics. All operations are
+// safe for concurrent use; reads during writes see a consistent
+// point-in-time value per metric.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry the CLI front ends publish.
+var Default = NewRegistry()
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// default buckets.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(nil)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// sanitizeMetricName maps a metric name onto the Prometheus charset.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format, metrics sorted by name.
+func (r *Registry) WriteProm(w io.Writer) {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := sanitizeMetricName(n)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[n].Value())
+	}
+
+	names = names[:0]
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := sanitizeMetricName(n)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, gauges[n].Value())
+	}
+
+	names = names[:0]
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := hists[n]
+		pn := sanitizeMetricName(n)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		cum := int64(0)
+		for i, ub := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, trimFloat(ub), cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", pn, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count())
+	}
+}
+
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// Snapshot returns every metric as a flat name→value map (histograms
+// contribute _sum and _count); the expvar view.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for n, c := range r.counters {
+		out[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		out[n+"_sum"] = h.Sum()
+		out[n+"_count"] = h.Count()
+	}
+	return out
+}
+
+// expvarMu serialises publication checks: expvar panics on duplicate
+// names, and the process-wide namespace is shared by every registry.
+var expvarMu sync.Mutex
+
+// PublishExpvar publishes the registry under the given expvar name.
+// The first registry to claim a name wins; later calls (from any
+// registry) are no-ops, since expvar forbids re-publishing.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// RegistryTracer folds tracer events into a Registry so a long-running
+// process (the IQMS server) exposes live mining metrics. Metric names
+// are prefixed, e.g. prefix "tarm" yields tarm_passes_total.
+type RegistryTracer struct {
+	R      *Registry
+	Prefix string
+}
+
+// NewRegistryTracer returns a tracer feeding r (nil means Default)
+// under the given prefix (empty means "tarm").
+func NewRegistryTracer(r *Registry, prefix string) *RegistryTracer {
+	if r == nil {
+		r = Default
+	}
+	if prefix == "" {
+		prefix = "tarm"
+	}
+	return &RegistryTracer{R: r, Prefix: prefix}
+}
+
+func (t *RegistryTracer) name(s string) string { return t.Prefix + "_" + s }
+
+func (t *RegistryTracer) Enabled() bool { return true }
+
+func (t *RegistryTracer) StartTask(name string) {
+	t.R.Counter(t.name("tasks_total")).Add(1)
+}
+
+func (t *RegistryTracer) EndTask() {}
+
+func (t *RegistryTracer) StartPass(int) {}
+
+func (t *RegistryTracer) EndPass(ps PassStats) {
+	t.R.Counter(t.name("passes_total")).Add(1)
+	t.R.Counter(t.name("candidates_generated_total")).Add(int64(ps.Generated))
+	t.R.Counter(t.name("candidates_pruned_total")).Add(int64(ps.Pruned))
+	t.R.Counter(t.name("candidates_counted_total")).Add(int64(ps.Counted))
+	t.R.Counter(t.name("itemsets_frequent_total")).Add(int64(ps.Frequent))
+	t.R.Counter(t.name("rows_scanned_total")).Add(ps.Rows)
+	t.R.Histogram(t.name("pass_seconds")).Observe(ps.Duration.Seconds())
+}
+
+func (t *RegistryTracer) Counter(name string, delta int64) {
+	t.R.Counter(t.name(name) + "_total").Add(delta)
+}
+
+func (t *RegistryTracer) Gauge(name string, v float64) {
+	t.R.Gauge(t.name(name)).Set(v)
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("passes_total").Add(3)
+	r.Counter("passes_total").Add(2)
+	if got := r.Counter("passes_total").Value(); got != 5 {
+		t.Errorf("counter = %d", got)
+	}
+	r.Gauge("active").Set(7)
+	r.Gauge("active").Add(-2)
+	if got := r.Gauge("active").Value(); got != 5 {
+		t.Errorf("gauge = %g", got)
+	}
+	h := r.Histogram("pass_seconds")
+	h.Observe(0.002)
+	h.Observe(0.3)
+	h.Observe(1000) // beyond the last bound → +Inf bucket
+	if h.Count() != 3 {
+		t.Errorf("hist count = %d", h.Count())
+	}
+	if h.Sum() < 1000 {
+		t.Errorf("hist sum = %g", h.Sum())
+	}
+
+	var b strings.Builder
+	r.WriteProm(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE passes_total counter", "passes_total 5",
+		"# TYPE active gauge", "active 5",
+		"# TYPE pass_seconds histogram",
+		`pass_seconds_bucket{le="+Inf"} 3`,
+		"pass_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: le="0.5" has seen 2 of the 3 samples.
+	if !strings.Contains(out, `pass_seconds_bucket{le="0.5"} 2`) {
+		t.Errorf("cumulative bucket wrong:\n%s", out)
+	}
+
+	snap := r.Snapshot()
+	if snap["passes_total"] != int64(5) || snap["pass_seconds_count"] != int64(3) {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	if got := sanitizeMetricName("tarm pass.ms-2"); got != "tarm_pass_ms_2" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitizeMetricName("1x"); got != "_x" {
+		t.Errorf("leading digit not replaced: %q", got)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines so
+// the race detector can vet the atomic paths (the CI race job runs it).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("c").Add(1)
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(float64(i%7) / 100)
+				if i%500 == 0 {
+					r.WriteProm(io.Discard)
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*iters {
+		t.Errorf("counter lost updates: %d", got)
+	}
+	if got := r.Gauge("g").Value(); got != workers*iters {
+		t.Errorf("gauge lost updates: %g", got)
+	}
+	if got := r.Histogram("h").Count(); got != workers*iters {
+		t.Errorf("histogram lost updates: %d", got)
+	}
+}
+
+func TestRegistryTracer(t *testing.T) {
+	r := NewRegistry()
+	tr := NewRegistryTracer(r, "")
+	if tr.Prefix != "tarm" {
+		t.Errorf("prefix = %q", tr.Prefix)
+	}
+	tr.StartTask("task:periods")
+	tr.EndPass(PassStats{Level: 2, Generated: 10, Pruned: 4, Counted: 6, Frequent: 3, Rows: 500, Duration: 2 * time.Millisecond})
+	tr.Counter(MetricRulesEmitted, 7)
+	tr.Gauge(MetricGranulesActive, 30)
+	tr.EndTask()
+	if r.Counter("tarm_passes_total").Value() != 1 ||
+		r.Counter("tarm_candidates_generated_total").Value() != 10 ||
+		r.Counter("tarm_candidates_pruned_total").Value() != 4 ||
+		r.Counter("tarm_candidates_counted_total").Value() != 6 ||
+		r.Counter("tarm_itemsets_frequent_total").Value() != 3 ||
+		r.Counter("tarm_rows_scanned_total").Value() != 500 ||
+		r.Counter("tarm_rules_emitted_total").Value() != 7 ||
+		r.Counter("tarm_tasks_total").Value() != 1 {
+		t.Errorf("registry after tracer: %v", r.Snapshot())
+	}
+	if r.Gauge("tarm_granules_active").Value() != 30 {
+		t.Errorf("gauge = %v", r.Gauge("tarm_granules_active").Value())
+	}
+	if r.Histogram("tarm_pass_seconds").Count() != 1 {
+		t.Error("pass duration not observed")
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tarm_statements_total").Add(2)
+	mux := DebugMux(r)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "tarm_statements_total 2") {
+		t.Errorf("/metrics: %d\n%s", code, body)
+	}
+
+	code, body = get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	if _, ok := vars["tarm_metrics"]; !ok {
+		t.Errorf("registry not published to expvar: %s", body)
+	}
+
+	if code, body = get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+}

@@ -3,11 +3,13 @@ package tml
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/core"
 	"github.com/tarm-project/tarm/internal/itemset"
 	"github.com/tarm-project/tarm/internal/minisql"
+	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/prune"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/timegran"
@@ -25,6 +27,14 @@ type Executor struct {
 	// counting.
 	Backend apriori.Backend
 	Workers int
+	// Tracer, when set, receives the telemetry of every statement in
+	// addition to the executor's own per-statement collector (whose
+	// stats EXPLAIN and Last surface). The CLI front ends install a
+	// RegistryTracer or ProgressTracer here.
+	Tracer obs.Tracer
+
+	mu        sync.Mutex
+	lastStats map[string]*obs.MineStats // per table, most recent run
 }
 
 // NewExecutor wraps a database.
@@ -48,6 +58,11 @@ func (e *Executor) ExecStmt(stmt *MineStmt) (*minisql.Result, error) {
 		}
 		return nil, fmt.Errorf("tml: no transaction table named %q", stmt.Table)
 	}
+	// Every statement is collected so EXPLAIN can show observed stats;
+	// the configured Tracer (metrics, progress) rides along.
+	collect := obs.NewCollectTracer()
+	tr := obs.Multi(collect, e.Tracer)
+	tr.Counter(obs.MetricStatements, 1)
 	cfg := core.Config{
 		Granularity:   stmt.Granularity,
 		MinSupport:    stmt.Support,
@@ -56,24 +71,48 @@ func (e *Executor) ExecStmt(stmt *MineStmt) (*minisql.Result, error) {
 		MaxK:          stmt.MaxSize,
 		Backend:       e.Backend,
 		Workers:       e.Workers,
+		Tracer:        tr,
 	}
+	var res *minisql.Result
+	var err error
 	switch stmt.Target {
 	case TargetRules:
 		if stmt.During == nil {
-			return e.execTraditional(tbl, stmt)
+			res, err = e.execTraditional(tbl, stmt, cfg)
+		} else {
+			res, err = e.execDuring(tbl, stmt, cfg)
 		}
-		return e.execDuring(tbl, stmt, cfg)
 	case TargetPeriods:
-		return e.execPeriods(tbl, stmt, cfg)
+		res, err = e.execPeriods(tbl, stmt, cfg)
 	case TargetCycles:
-		return e.execCycles(tbl, stmt, cfg)
+		res, err = e.execCycles(tbl, stmt, cfg)
 	case TargetCalendars:
-		return e.execCalendars(tbl, stmt, cfg)
+		res, err = e.execCalendars(tbl, stmt, cfg)
 	case TargetHistory:
-		return e.execHistory(tbl, stmt, cfg)
+		res, err = e.execHistory(tbl, stmt, cfg)
 	default:
 		return nil, fmt.Errorf("tml: unknown target %v", stmt.Target)
 	}
+	if err != nil {
+		return nil, err
+	}
+	st := collect.Stats()
+	st.Statement = stmt.String()
+	e.mu.Lock()
+	if e.lastStats == nil {
+		e.lastStats = make(map[string]*obs.MineStats)
+	}
+	e.lastStats[stmt.Table] = st
+	e.mu.Unlock()
+	return res, nil
+}
+
+// Last returns the stats collected for the most recent successful
+// statement over table, or nil if none has run.
+func (e *Executor) Last(table string) *obs.MineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastStats[table]
 }
 
 // parseRuleSpec resolves "a, b => c" against the dictionary.
@@ -168,8 +207,8 @@ func pruneOptions(stmt *MineStmt, n int) (prune.Options, bool) {
 	}, true
 }
 
-func (e *Executor) execTraditional(tbl *tdb.TxTable, stmt *MineStmt) (*minisql.Result, error) {
-	rules, err := core.MineTraditionalWith(tbl, stmt.Support, stmt.Confidence, stmt.MaxSize, e.Backend, e.Workers)
+func (e *Executor) execTraditional(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
+	rules, err := core.MineTraditionalWith(tbl, stmt.Support, stmt.Confidence, stmt.MaxSize, e.Backend, e.Workers, cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -328,6 +367,23 @@ func (e *Executor) Explain(stmt *MineStmt) (*minisql.Result, error) {
 	add("min support (per granule)", fmt.Sprintf("%g", stmt.Support))
 	add("min confidence", fmt.Sprintf("%g", stmt.Confidence))
 	add("min frequency", fmt.Sprintf("%g", stmt.defaultFrequency()))
+	// When a statement has already run over this table, append what that
+	// run actually did: per-pass counts, resolved backend, rules, time.
+	if st := e.Last(stmt.Table); st != nil {
+		add("observed: statement", st.Statement)
+		if st.Backend != "" {
+			add("observed: backend", st.Backend)
+		}
+		for _, l := range st.Levels {
+			add(fmt.Sprintf("observed: pass L%d", l.Level),
+				fmt.Sprintf("%d candidates (%d pruned, %d counted) → %d frequent",
+					l.Generated, l.Pruned, l.Counted, l.Frequent))
+		}
+		if n, ok := st.Counters[obs.MetricRulesEmitted]; ok {
+			add("observed: rules emitted", fmt.Sprint(n))
+		}
+		add("observed: wall time", fmt.Sprintf("%.1fms", float64(st.WallNS)/1e6))
+	}
 	return res, nil
 }
 

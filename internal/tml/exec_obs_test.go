@@ -1,0 +1,90 @@
+package tml
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tarm-project/tarm/internal/obs"
+)
+
+// TestExecutorStats pins the executor's statement telemetry: every MINE
+// run is collected, Last exposes it, a configured Tracer sees it too,
+// and EXPLAIN appends an observed section once a run exists.
+func TestExecutorStats(t *testing.T) {
+	db := fixtureDB(t)
+	s := NewSession(db)
+	external := obs.NewCollectTracer()
+	s.TML.Tracer = external
+
+	if st := s.TML.Last("baskets"); st != nil {
+		t.Fatalf("stats before any run: %+v", st)
+	}
+
+	stmt := `MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 MIN LENGTH 2`
+	if _, err := s.Exec(stmt); err != nil {
+		t.Fatal(err)
+	}
+	st := s.TML.Last("baskets")
+	if st == nil {
+		t.Fatal("no stats after a MINE run")
+	}
+	if !strings.Contains(st.Statement, "MINE PERIODS") {
+		t.Errorf("statement = %q", st.Statement)
+	}
+	if len(st.Levels) == 0 {
+		t.Error("no passes collected")
+	}
+	for _, l := range st.Levels {
+		if l.Pruned+l.Counted != l.Generated {
+			t.Errorf("L%d pruned %d + counted %d != generated %d", l.Level, l.Pruned, l.Counted, l.Generated)
+		}
+	}
+	if st.Counters[obs.MetricStatements] != 1 {
+		t.Errorf("statements counter = %d", st.Counters[obs.MetricStatements])
+	}
+	if _, ok := st.Counters[obs.MetricRulesEmitted]; !ok {
+		t.Error("rules_emitted counter missing")
+	}
+
+	// The external tracer saw the same run.
+	ext := external.Stats()
+	if ext.Counters[obs.MetricStatements] != 1 || len(ext.Levels) != len(st.Levels) {
+		t.Errorf("external tracer: statements=%d levels=%d, want 1/%d",
+			ext.Counters[obs.MetricStatements], len(ext.Levels), len(st.Levels))
+	}
+
+	// EXPLAIN now carries the observed section.
+	res, err := s.Exec(`EXPLAIN ` + stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := map[string]string{}
+	for _, row := range res.Rows {
+		props[row[0].AsString()] = row[1].AsString()
+	}
+	if !strings.Contains(props["observed: statement"], "MINE PERIODS") {
+		t.Errorf("observed statement = %q", props["observed: statement"])
+	}
+	if _, ok := props["observed: pass L1"]; !ok {
+		t.Error("observed pass rows missing")
+	}
+	if _, ok := props["observed: rules emitted"]; !ok {
+		t.Error("observed rules emitted missing")
+	}
+
+	// Traditional mining is traced too, including the resolved backend.
+	if _, err := s.Exec(`MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`); err != nil {
+		t.Fatal(err)
+	}
+	st = s.TML.Last("baskets")
+	if !strings.Contains(st.Statement, "MINE RULES") {
+		t.Errorf("statement not replaced: %q", st.Statement)
+	}
+	if st.Backend == "" {
+		t.Error("traditional run reported no backend")
+	}
+	// External tracer accumulated both statements.
+	if got := external.Stats().Counters[obs.MetricStatements]; got != 2 {
+		t.Errorf("external statements counter = %d, want 2", got)
+	}
+}

@@ -26,11 +26,14 @@
 package tarm
 
 import (
+	"net/http"
+
 	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/core"
 	"github.com/tarm-project/tarm/internal/gen"
 	"github.com/tarm-project/tarm/internal/itemset"
 	"github.com/tarm-project/tarm/internal/minisql"
+	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/prune"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/timegran"
@@ -273,6 +276,48 @@ func NewSession(db *DB) *Session { return tml.NewSession(db) }
 
 // FormatResult renders a result as an aligned text table.
 var FormatResult = minisql.Format
+
+// Observability: pass-level tracing and process metrics. Set a Tracer
+// on Config.Tracer (temporal tasks) or Session.TML.Tracer (TML); a nil
+// tracer costs nothing.
+type (
+	// Tracer receives span-style events from mining runs.
+	Tracer = obs.Tracer
+	// PassStats describes one completed counting pass.
+	PassStats = obs.PassStats
+	// MineStats is the structured telemetry of a run, as collected by a
+	// CollectTracer and dumped by `tarmine -stats`.
+	MineStats = obs.MineStats
+	// CollectTracer accumulates MineStats.
+	CollectTracer = obs.CollectTracer
+	// MetricsRegistry holds process-wide atomic counters, gauges and
+	// histograms, exposed via expvar and a Prometheus text endpoint.
+	MetricsRegistry = obs.Registry
+)
+
+// NopTracer discards all telemetry; nil tracers behave identically.
+var NopTracer = obs.Nop
+
+// NewCollectTracer returns an empty stats collector.
+func NewCollectTracer() *CollectTracer { return obs.NewCollectTracer() }
+
+// MultiTracer fans telemetry out to several tracers.
+func MultiTracer(ts ...Tracer) Tracer { return obs.Multi(ts...) }
+
+// DefaultMetrics is the process-wide metrics registry the CLI front
+// ends publish.
+var DefaultMetrics = obs.Default
+
+// NewMetricsTracer folds mining telemetry into a metrics registry (nil:
+// DefaultMetrics) under the given name prefix ("": "tarm").
+func NewMetricsTracer(r *MetricsRegistry, prefix string) Tracer {
+	return obs.NewRegistryTracer(r, prefix)
+}
+
+// MetricsMux serves /metrics (Prometheus text), /debug/vars (expvar)
+// and /debug/pprof/ for a registry (nil: DefaultMetrics), the mux
+// behind `iqms -metrics`.
+func MetricsMux(r *MetricsRegistry) *http.ServeMux { return obs.DebugMux(r) }
 
 // Synthetic workloads.
 type (
