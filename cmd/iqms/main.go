@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/core"
 	"github.com/tarm-project/tarm/internal/minisql"
 	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/tdb"
@@ -38,6 +39,7 @@ func main() {
 	script := flag.String("f", "", "execute statements from this file and exit")
 	backendName := flag.String("backend", "auto", "counting backend: auto, naive, hashtree or bitmap")
 	workers := flag.Int("workers", 0, "parallel counting workers (0 = sequential)")
+	cacheMB := flag.Int("cache", int(core.DefaultCacheBytes>>20), "hold-table cache budget in MB (0 = disable caching)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
@@ -60,6 +62,7 @@ func main() {
 	session := tml.NewSession(db)
 	session.TML.Backend = backend
 	session.TML.Workers = *workers
+	session.TML.Cache = core.NewHoldCache(int64(*cacheMB) << 20)
 
 	if *metricsAddr != "" {
 		if err := serveMetrics(*metricsAddr, session); err != nil {
@@ -129,7 +132,7 @@ func run(session *tml.Session, db *tdb.DB, r io.Reader, w, errw io.Writer, inter
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			done, err := metaCommand(trimmed, db, w)
+			done, err := metaCommand(trimmed, session, db, w)
 			if err != nil {
 				if !interactive {
 					return err
@@ -179,10 +182,20 @@ func execOne(session *tml.Session, stmt string, w io.Writer) error {
 
 // metaCommand handles \-commands; it reports whether the session
 // should end.
-func metaCommand(cmd string, db *tdb.DB, w io.Writer) (quit bool, err error) {
+func metaCommand(cmd string, session *tml.Session, db *tdb.DB, w io.Writer) (quit bool, err error) {
 	switch fields := strings.Fields(cmd); fields[0] {
 	case "\\quit", "\\q":
 		return true, nil
+	case "\\cache":
+		st := session.TML.Cache.Stats()
+		if st.MaxBytes == 0 {
+			fmt.Fprintln(w, "hold-table cache disabled (-cache 0)")
+			return false, nil
+		}
+		fmt.Fprintf(w, "hits %d  rethresholds %d  misses %d  dedups %d\n", st.Hits, st.Rethresholds, st.Misses, st.Dedups)
+		fmt.Fprintf(w, "entries %d  resident %.1f/%d MB  cells %d  evictions %d  invalidations %d\n",
+			st.Entries, float64(st.ResidentBytes)/(1<<20), st.MaxBytes>>20, st.ResidentCells, st.Evictions, st.Invalidations)
+		return false, nil
 	case "\\tables", "\\t":
 		for _, n := range db.Names() {
 			kind := "table"
@@ -221,7 +234,7 @@ TML:  MINE RULES FROM t [DURING '<pattern>'] THRESHOLD SUPPORT s CONFIDENCE c [F
       EXPLAIN MINE ...;
 Patterns: month in (jun..aug) | weekday in (sat,sun) | every 7 offset 2 |
           between 1998-01-01 and 1998-06-30 | and/or/not combinations
-Meta: \tables  \save  \import <table> <file.csv>  \export <table> <file.csv>  \help  \quit
+Meta: \tables  \save  \cache  \import <table> <file.csv>  \export <table> <file.csv>  \help  \quit
 CSV:  transaction tables use "timestamp,item1;item2"; relational tables a header row.
 `)
 		return false, nil

@@ -273,6 +273,9 @@ func generateCandidates(level []ItemsetCount) (out []itemset.Set, generated, pru
 	for _, ic := range level {
 		freq[ic.Set.Key()] = true
 	}
+	// One key buffer for every subset probe of the pass: the prune
+	// loop's map lookups must not allocate a key string per subset.
+	keyBuf := make([]byte, 0, 4*(len(level[0].Set)+1))
 	for i := 0; i < len(level); i++ {
 		for j := i + 1; j < len(level); j++ {
 			cand, ok := level[i].Set.JoinPrefix(level[j].Set)
@@ -282,7 +285,7 @@ func generateCandidates(level []ItemsetCount) (out []itemset.Set, generated, pru
 				break
 			}
 			generated++
-			if aprioriPruned(cand, freq) {
+			if aprioriPruned(cand, freq, keyBuf) {
 				pruned++
 				continue
 			}
@@ -296,10 +299,10 @@ func generateCandidates(level []ItemsetCount) (out []itemset.Set, generated, pru
 // frequent. The two subsets obtained by dropping one of the last two
 // items are the join parents and are frequent by construction, but
 // checking them costs little and keeps the function self-contained.
-func aprioriPruned(cand itemset.Set, freq map[string]bool) bool {
+func aprioriPruned(cand itemset.Set, freq map[string]bool, keyBuf []byte) bool {
 	pruned := false
 	cand.EachSubsetK1(func(sub itemset.Set) bool {
-		if !freq[sub.Key()] {
+		if !freq[string(sub.AppendKey(keyBuf[:0]))] {
 			pruned = true
 			return false
 		}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/tarm-project/tarm/internal/core"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/tml"
+)
+
+// e12Statements is the replayed IQMS session: four temporal tasks swept
+// across support thresholds the way an analyst narrows in — the initial
+// look (0.15), two tightening rounds (0.18, 0.22), one loosening round
+// (0.12, the only statement the warm cache cannot derive) and a return
+// to 0.2 served off the broadened entry. 20 statements, one hold-table
+// build per distinct "not yet covered" support.
+func e12Statements() []string {
+	tasks := []string{
+		`MINE PERIODS FROM baskets THRESHOLD SUPPORT %g CONFIDENCE 0.6 FREQUENCY 0.9 MIN LENGTH 7`,
+		`MINE CYCLES FROM baskets THRESHOLD SUPPORT %g CONFIDENCE 0.6 MAX LENGTH 10 MIN REPS 4`,
+		`MINE CALENDARS FROM baskets THRESHOLD SUPPORT %g CONFIDENCE 0.6 FREQUENCY 0.8 MIN REPS 4`,
+		`MINE RULES FROM baskets DURING 'month in (jun..aug)' THRESHOLD SUPPORT %g CONFIDENCE 0.6 FREQUENCY 0.8`,
+	}
+	var out []string
+	for _, sup := range []float64{0.15, 0.18, 0.22, 0.12, 0.2} {
+		for _, tmpl := range tasks {
+			out = append(out, fmt.Sprintf(tmpl, sup))
+		}
+	}
+	return out
+}
+
+// e12Session loads the standard dataset into a fresh IQMS session.
+func e12Session(sc StandardConfig) (*tml.Session, error) {
+	txt, _, err := StandardDataset(sc)
+	if err != nil {
+		return nil, err
+	}
+	db := tdb.NewMemDB()
+	dst, err := db.CreateTxTable("baskets")
+	if err != nil {
+		return nil, err
+	}
+	txt.Each(func(tx tdb.Tx) bool {
+		dst.Append(tx.At, tx.Items)
+		return true
+	})
+	return tml.NewSession(db), nil
+}
+
+// cacheOutcome names what the warm executor's cache did for one
+// statement, from the counter deltas around it.
+func cacheOutcome(before, after core.CacheStats) string {
+	switch {
+	case after.Misses > before.Misses:
+		return "miss"
+	case after.Rethresholds > before.Rethresholds:
+		return "rethreshold"
+	case after.Hits > before.Hits:
+		return "hit"
+	default:
+		return "-"
+	}
+}
+
+// E12InteractiveReplay replays the same 20-statement TML session
+// through two executors — cold (hold-table cache disabled, the
+// pre-cache behaviour: every statement rebuilds) and warm (the default
+// cache) — and reports per-statement latency side by side with what
+// the cache did. The aggregate row is the headline: an interactive
+// session pays the counting scan once per uncovered support level
+// instead of once per statement.
+func E12InteractiveReplay(sc StandardConfig) (Table, error) {
+	coldSession, err := e12Session(sc)
+	if err != nil {
+		return Table{}, err
+	}
+	coldSession.TML.Backend = Backend
+	coldSession.TML.Workers = Workers
+	coldSession.TML.Cache = nil
+	warmSession, err := e12Session(sc)
+	if err != nil {
+		return Table{}, err
+	}
+	warmSession.TML.Backend = Backend
+	warmSession.TML.Workers = Workers
+
+	t := Table{
+		ID:     "E12",
+		Title:  "interactive session replay, cold vs warm hold-table cache, " + describe(sc),
+		Header: []string{"#", "statement", "cold ms", "warm ms", "speedup", "cache"},
+	}
+	var coldTotal, warmTotal float64
+	for i, stmt := range e12Statements() {
+		var coldRows, warmRows int
+		coldD, err := timed(func() error {
+			res, err := coldSession.Exec(stmt)
+			if err == nil {
+				coldRows = len(res.Rows)
+			}
+			return err
+		})
+		if err != nil {
+			return t, fmt.Errorf("cold %s: %w", stmt, err)
+		}
+		before := warmSession.TML.Cache.Stats()
+		warmD, err := timed(func() error {
+			res, err := warmSession.Exec(stmt)
+			if err == nil {
+				warmRows = len(res.Rows)
+			}
+			return err
+		})
+		if err != nil {
+			return t, fmt.Errorf("warm %s: %w", stmt, err)
+		}
+		if coldRows != warmRows {
+			return t, fmt.Errorf("%s: cold returned %d rows, warm %d", stmt, coldRows, warmRows)
+		}
+		coldMS, warmMS := coldD.Seconds()*1000, warmD.Seconds()*1000
+		coldTotal += coldMS
+		warmTotal += warmMS
+		label := stmt
+		if len(label) > 56 {
+			label = label[:53] + "..."
+		}
+		speedup := "-"
+		if warmMS > 0 {
+			speedup = fmt.Sprintf("%.1fx", coldMS/warmMS)
+		}
+		t.AddRow(fmt.Sprint(i+1), label, ms(coldMS), ms(warmMS), speedup,
+			cacheOutcome(before, warmSession.TML.Cache.Stats()))
+	}
+	st := warmSession.TML.Cache.Stats()
+	t.AddRow("", "TOTAL (20 statements)", ms(coldTotal), ms(warmTotal),
+		fmt.Sprintf("%.1fx", coldTotal/warmTotal),
+		fmt.Sprintf("%dm/%dr/%dh", st.Misses, st.Rethresholds, st.Hits))
+	return t, nil
+}

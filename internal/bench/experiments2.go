@@ -408,9 +408,10 @@ var Experiments = map[string]func() (Table, error){
 	"e9":  func() (Table, error) { return E9TML(StandardConfig{TxPerDay: 50}) },
 	"e10": func() (Table, error) { return E10FrequencySweep(0, 1998) },
 	"e11": func() (Table, error) { return E11CountingBackends(1998) },
+	"e12": func() (Table, error) { return E12InteractiveReplay(StandardConfig{TxPerDay: 50}) },
 }
 
 // ExperimentIDs returns the ids in run order.
 func ExperimentIDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
 }

@@ -97,6 +97,7 @@ func TestHoldTableBackendEquivalence(t *testing.T) {
 		}
 		variants := []variant{
 			{apriori.BackendAuto, 0},
+			{apriori.BackendNaive, 4},
 			{apriori.BackendHashTree, 1},
 			{apriori.BackendHashTree, 4},
 			{apriori.BackendBitmap, 1},

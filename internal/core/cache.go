@@ -1,0 +1,384 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/obs"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// HoldCache is a memory-bounded LRU cache of HoldTables, the substrate
+// of interactive IQMS sessions: an analyst iterating MINE statements
+// over one table pays the level-wise counting scan once, and every
+// later statement against the same data is served from memory.
+//
+// A cached build at support s₀ serves any statement at support s ≥ s₀
+// (and MaxK within the cached depth) *exactly*: itemsets granule-
+// frequent at s are a subset of those retained at s₀ (per-granule
+// counts are monotone, so an itemset clearing ceil(s·|g|) clears
+// ceil(s₀·|g|) too), and re-thresholding the stored per-granule count
+// vectors reproduces the cold build bit for bit — see
+// (*HoldTable).Rethreshold. Statements below the cached support, or
+// deeper than the cached MaxK, miss and rebuild.
+//
+// Entries are keyed by (table name, table epoch, granularity,
+// MinGranuleTx); the epoch comes from tdb.(*TxTable).Epoch and is
+// bumped by every Append, so a write to the table invalidates its
+// cached tables on the next lookup. Concurrent identical statements
+// are deduplicated: one build runs, the rest wait for it
+// (singleflight).
+//
+// The zero of *HoldCache is usable: a nil cache builds directly and
+// caches nothing, so callers thread an optional cache without
+// branching.
+type HoldCache struct {
+	maxBytes int64
+
+	mu      sync.Mutex
+	lru     *list.List // of *cacheEntry, front = most recently used
+	byKey   map[cacheKey]*cacheEntry
+	flights map[flightKey]*flight
+	stats   CacheStats
+}
+
+// DefaultCacheBytes is the memory budget front ends use when the user
+// does not size the cache explicitly.
+const DefaultCacheBytes int64 = 256 << 20
+
+// cacheKey identifies the data a hold table was counted over, minus
+// the epoch: granularity and MinGranuleTx change the granule grid and
+// the active mask, so tables built under different values share
+// nothing. The epoch lives in the entry so a stale entry can be
+// recognised (and dropped) at lookup time.
+type cacheKey struct {
+	table        string
+	granularity  timegran.Granularity
+	minGranuleTx int
+}
+
+// cacheEntry is one resident hold table plus the coverage it can
+// serve: statements at support ≥ buildSupport and MaxK within maxK.
+type cacheEntry struct {
+	key          cacheKey
+	epoch        int64
+	buildSupport float64
+	maxK         int // 0 = unbounded
+	bytes        int64
+	cells        int64
+	h            *HoldTable
+	elem         *list.Element
+}
+
+// flightKey identifies one in-flight build: the cache key plus the
+// thresholds that shape the build. Statements differing only in
+// confidence, frequency, backend or tracer coalesce onto one build.
+type flightKey struct {
+	cacheKey
+	epoch   int64
+	support float64
+	maxK    int
+}
+
+// flight is one in-flight build; waiters block on done.
+type flight struct {
+	done chan struct{}
+	h    *HoldTable
+	err  error
+}
+
+// CacheStats is a point-in-time snapshot of a cache's behaviour,
+// JSON-shaped for the iqms session report.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`           // exact-threshold hits
+	Rethresholds  int64 `json:"rethresholds"`   // monotone re-threshold hits
+	Misses        int64 `json:"misses"`         // builds triggered
+	Dedups        int64 `json:"dedups"`         // waits on an in-flight build
+	Evictions     int64 `json:"evictions"`      // entries evicted for space
+	Invalidations int64 `json:"invalidations"`  // entries dropped after table writes
+	Entries       int   `json:"entries"`        // resident entries
+	ResidentBytes int64 `json:"resident_bytes"` // estimated resident size
+	ResidentCells int64 `json:"resident_cells"` // resident itemsets × granules
+	MaxBytes      int64 `json:"max_bytes"`      // configured budget
+}
+
+// NewHoldCache returns a cache bounded to roughly maxBytes of resident
+// hold-table data (maxBytes ≤ 0 returns nil: caching disabled).
+func NewHoldCache(maxBytes int64) *HoldCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &HoldCache{
+		maxBytes: maxBytes,
+		lru:      list.New(),
+		byKey:    make(map[cacheKey]*cacheEntry),
+		flights:  make(map[flightKey]*flight),
+	}
+}
+
+// Stats returns a snapshot of the cache counters. Safe on nil.
+func (c *HoldCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.lru.Len()
+	st.MaxBytes = c.maxBytes
+	return st
+}
+
+// maxKCovers reports whether a build bounded to have (0 = unbounded)
+// contains every level a query bounded to want needs.
+func maxKCovers(have, want int) bool {
+	return have == 0 || (want != 0 && want <= have)
+}
+
+// Get returns a hold table for (tbl, cfg), from cache when a resident
+// build covers the statement, building (and caching) otherwise. The
+// returned table carries cfg verbatim — confidence, frequency and
+// tracer are the caller's — and must be treated as read-only, like
+// every shared HoldTable. A nil cache builds directly.
+func (c *HoldCache) Get(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
+	if c == nil {
+		return BuildHoldTable(tbl, cfg)
+	}
+	cfg, err := cfg.normalise()
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey{table: tbl.Name(), granularity: cfg.Granularity, minGranuleTx: cfg.MinGranuleTx}
+	epoch := tbl.Epoch()
+	tr := cfg.tracer()
+
+	c.mu.Lock()
+	if ent := c.byKey[key]; ent != nil {
+		if ent.epoch != epoch {
+			// The table was written since this entry was built.
+			c.removeLocked(ent)
+			c.stats.Invalidations++
+			tr.Counter(obs.MetricCacheInvalidations, 1)
+			c.gaugeLocked(tr)
+		} else if ent.buildSupport <= cfg.MinSupport && maxKCovers(ent.maxK, cfg.MaxK) {
+			c.lru.MoveToFront(ent.elem)
+			h := ent.h
+			if cfg.MinSupport == ent.buildSupport && cfg.MaxK == ent.maxK {
+				c.stats.Hits++
+				c.mu.Unlock()
+				tr.Counter(obs.MetricCacheHits, 1)
+				return h.withCfg(cfg), nil
+			}
+			c.stats.Rethresholds++
+			c.mu.Unlock()
+			tr.Counter(obs.MetricCacheRethresholds, 1)
+			return h.Rethreshold(cfg)
+		}
+	}
+	// Miss. Join an identical in-flight build, or start one.
+	fk := flightKey{cacheKey: key, epoch: epoch, support: cfg.MinSupport, maxK: cfg.MaxK}
+	if f := c.flights[fk]; f != nil {
+		c.stats.Dedups++
+		c.mu.Unlock()
+		tr.Counter(obs.MetricCacheDedups, 1)
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		return f.h.withCfg(cfg), nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[fk] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+	tr.Counter(obs.MetricCacheMisses, 1)
+
+	h, err := BuildHoldTable(tbl, cfg)
+	f.h, f.err = h, err
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.flights, fk)
+	if err == nil && tbl.Epoch() == epoch {
+		// Only cache builds not raced by a write: a scan overlapping an
+		// Append may contain the new rows, and caching it under the old
+		// epoch would serve them to readers of the old state.
+		c.insertLocked(key, epoch, cfg, h, tr)
+	}
+	c.gaugeLocked(tr)
+	c.mu.Unlock()
+	return h, err
+}
+
+// insertLocked adds a freshly built table, replacing the key's
+// previous entry unless that entry already covers at least as much,
+// then evicts from the cold end until the budget holds. Oversized
+// tables are not cached. Caller holds c.mu.
+func (c *HoldCache) insertLocked(key cacheKey, epoch int64, cfg Config, h *HoldTable, tr obs.Tracer) {
+	bytes := h.MemBytes()
+	if bytes > c.maxBytes {
+		return
+	}
+	if old := c.byKey[key]; old != nil {
+		if old.epoch == epoch && old.buildSupport <= cfg.MinSupport && maxKCovers(old.maxK, cfg.MaxK) {
+			// A concurrent build with broader coverage landed first.
+			c.lru.MoveToFront(old.elem)
+			return
+		}
+		c.removeLocked(old)
+	}
+	ent := &cacheEntry{
+		key:          key,
+		epoch:        epoch,
+		buildSupport: cfg.MinSupport,
+		maxK:         cfg.MaxK,
+		bytes:        bytes,
+		cells:        int64(h.TotalItemsets()) * int64(h.NGranules()),
+		h:            h,
+	}
+	ent.elem = c.lru.PushFront(ent)
+	c.byKey[key] = ent
+	c.stats.ResidentBytes += ent.bytes
+	c.stats.ResidentCells += ent.cells
+	for c.stats.ResidentBytes > c.maxBytes && c.lru.Len() > 1 {
+		victim := c.lru.Back().Value.(*cacheEntry)
+		c.removeLocked(victim)
+		c.stats.Evictions++
+		tr.Counter(obs.MetricCacheEvictions, 1)
+	}
+}
+
+// removeLocked unlinks an entry and releases its accounting. Caller
+// holds c.mu.
+func (c *HoldCache) removeLocked(ent *cacheEntry) {
+	c.lru.Remove(ent.elem)
+	if c.byKey[ent.key] == ent {
+		delete(c.byKey, ent.key)
+	}
+	c.stats.ResidentBytes -= ent.bytes
+	c.stats.ResidentCells -= ent.cells
+}
+
+// gaugeLocked publishes the resident-cells gauge. Caller holds c.mu.
+func (c *HoldCache) gaugeLocked(tr obs.Tracer) {
+	tr.Gauge(obs.MetricCacheResidentCells, float64(c.stats.ResidentCells))
+}
+
+// withCfg returns a shallow view of h carrying the caller's config:
+// the count vectors, levels and thresholds are shared with h (the
+// caller's support and MaxK equal the build's), while confidence,
+// frequency and tracer — which the stored data does not depend on —
+// are the caller's own.
+func (h *HoldTable) withCfg(cfg Config) *HoldTable {
+	nh := *h
+	nh.Cfg = cfg
+	return &nh
+}
+
+// MemBytes estimates the resident heap size of the hold table: the
+// per-granule count vectors dominate (4 bytes × itemsets × granules),
+// plus per-itemset key/slice/map overhead and the per-granule
+// scaffolding. It is the sizing unit of the HoldCache budget.
+func (h *HoldTable) MemBytes() int64 {
+	// Map entry, key string header+bytes, count-slice header, ByK slot.
+	const perItemset = 96
+	n := int64(h.NGranules())
+	var itemBytes int64
+	for k, level := range h.ByK {
+		itemBytes += int64(len(level)) * (4*n + int64(8*k) + perItemset)
+	}
+	return itemBytes + n*24
+}
+
+// Rethreshold derives from h the exact hold table a cold build at
+// cfg's (higher or equal) support and (equal or shallower) MaxK would
+// produce, without rescanning any data: per-granule thresholds are
+// recomputed, every stored level is filtered through them, and the
+// level-wise stopping rule is replayed so the ByK structure matches a
+// cold build level for level. Count vectors are shared with h, never
+// copied.
+//
+// The monotonicity argument: per-granule counts do not depend on the
+// thresholds, and an itemset frequent in granule g at the higher
+// support was necessarily frequent in g at the build support (its
+// count cleared a larger bound), so every itemset the cold build would
+// retain is stored in h with identical counts — filtering cannot miss
+// one. Conversely the filter applies exactly the cold build's
+// per-granule bounds, so it cannot keep an extra one.
+//
+// It errors when cfg is not covered: different granularity or
+// MinGranuleTx (different granule grid), support below the build
+// support, or MaxK deeper than built.
+func (h *HoldTable) Rethreshold(cfg Config) (*HoldTable, error) {
+	cfg, err := cfg.normalise()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Granularity != h.Cfg.Granularity {
+		return nil, fmt.Errorf("core: Rethreshold granularity %v differs from build %v", cfg.Granularity, h.Cfg.Granularity)
+	}
+	if cfg.MinGranuleTx != h.Cfg.MinGranuleTx {
+		return nil, fmt.Errorf("core: Rethreshold MinGranuleTx %d differs from build %d", cfg.MinGranuleTx, h.Cfg.MinGranuleTx)
+	}
+	if cfg.MinSupport < h.Cfg.MinSupport {
+		return nil, fmt.Errorf("core: Rethreshold support %g below build support %g; rebuild instead", cfg.MinSupport, h.Cfg.MinSupport)
+	}
+	if !maxKCovers(h.Cfg.MaxK, cfg.MaxK) {
+		return nil, fmt.Errorf("core: Rethreshold MaxK %d deeper than built %d; rebuild instead", cfg.MaxK, h.Cfg.MaxK)
+	}
+	n := h.NGranules()
+	nh := &HoldTable{
+		Cfg:       cfg,
+		Span:      h.Span,
+		TxCounts:  h.TxCounts,
+		MinCounts: make([]int, n),
+		Active:    h.Active,
+		NActive:   h.NActive,
+		ByK:       [][]itemset.Set{nil},
+		counts:    make(map[string][]int32),
+	}
+	for gi, txc := range nh.TxCounts {
+		if nh.Active[gi] {
+			nh.MinCounts[gi] = ceilCount(cfg.MinSupport, txc)
+		}
+	}
+	// Level 1: filter the stored items through the new thresholds. The
+	// filtered slice of a sorted level stays sorted.
+	var l1 []itemset.Set
+	for _, s := range h.ByK[1] {
+		if v := h.countsOf(s); nh.frequentSomewhere(v) {
+			l1 = append(l1, s)
+			nh.counts[s.Key()] = v
+		}
+	}
+	nh.ByK = append(nh.ByK, l1)
+	// Higher levels replay the cold build's loop: stop where it would
+	// stop (thin level, empty join, MaxK), append an empty level where
+	// it would count candidates and find none. A stored k-level can
+	// never lack an itemset the cold build retains: that itemset is
+	// granule-frequent at the lower build support too.
+	prev := l1
+	for k := 2; len(prev) > 1 && (cfg.MaxK == 0 || k <= cfg.MaxK) && k < len(h.ByK); k++ {
+		cands, _, _ := generateFromSets(prev)
+		if len(cands) == 0 {
+			break
+		}
+		var level []itemset.Set
+		for _, s := range h.ByK[k] {
+			if v := h.countsOf(s); nh.frequentSomewhere(v) {
+				level = append(level, s)
+				nh.counts[s.Key()] = v
+			}
+		}
+		nh.ByK = append(nh.ByK, level)
+		prev = level
+	}
+	if tr := cfg.tracer(); tr.Enabled() {
+		tr.Counter(obs.MetricItemsetsFrequent, int64(nh.TotalItemsets()))
+		tr.Gauge(obs.MetricHoldCells, float64(nh.TotalItemsets())*float64(n))
+	}
+	return nh, nil
+}

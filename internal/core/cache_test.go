@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/gen"
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/obs"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// cacheTestCfg is the build config the cache tests share.
+func cacheTestCfg(minsup float64, maxK int) Config {
+	return Config{
+		Granularity:   timegran.Day,
+		MinSupport:    minsup,
+		MinConfidence: 0.5,
+		MinFreq:       0.8,
+		MaxK:          maxK,
+	}
+}
+
+// cacheEquivTable is a smaller planted dataset than backendTestTable:
+// the re-threshold grid below builds it cold many times over.
+func cacheEquivTable(t *testing.T, seed int64) *tdb.TxTable {
+	t.Helper()
+	weekend, err := timegran.NewCalendar(timegran.FieldWeekday, timegran.FieldRange{Lo: 6, Hi: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := gen.GenerateTemporal(gen.TemporalConfig{
+		Quest:        gen.QuestConfig{NItems: 60, NPatterns: 15, AvgTxLen: 6},
+		Start:        time.Date(2001, 3, 1, 0, 0, 0, 0, time.UTC),
+		Granularity:  timegran.Day,
+		NGranules:    35,
+		TxPerGranule: 12,
+		Rules: []gen.PlantedRule{
+			{Name: "weekend", Items: itemset.New(500, 501), Pattern: weekend, PInside: 0.5, POutside: 0.01},
+		},
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestRethresholdMatchesColdBuild is the monotone-reuse property at the
+// heart of the HoldCache: a table built at a low support, re-thresholded
+// to any higher support and equal-or-shallower MaxK, must agree bit for
+// bit with a cold build at the query thresholds — from a base table
+// built on every backend. Each query config is cold-built once; every
+// backend's re-threshold must reproduce it, which doubles as a
+// cross-backend equivalence check.
+func TestRethresholdMatchesColdBuild(t *testing.T) {
+	tbl := cacheEquivTable(t, 42)
+	backends := []apriori.Backend{apriori.BackendNaive, apriori.BackendHashTree, apriori.BackendBitmap}
+	type grid struct {
+		buildK  int
+		queryKs []int
+	}
+	grids := []grid{
+		{buildK: 0, queryKs: []int{0, 2, 3}},
+		{buildK: 3, queryKs: []int{2, 3}},
+	}
+	const buildSup = 0.05
+	// Base tables, one per (backend, build depth).
+	bases := map[apriori.Backend]map[int]*HoldTable{}
+	for _, backend := range backends {
+		bases[backend] = map[int]*HoldTable{}
+		for _, g := range grids {
+			bcfg := cacheTestCfg(buildSup, g.buildK)
+			bcfg.Backend = backend
+			base, err := BuildHoldTable(tbl, bcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bases[backend][g.buildK] = base
+		}
+	}
+	for _, querySup := range []float64{buildSup, 0.08, 0.15, 0.4} {
+		for _, g := range grids {
+			for _, queryK := range g.queryKs {
+				qcfg := cacheTestCfg(querySup, queryK)
+				want, err := BuildHoldTable(tbl, qcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, backend := range backends {
+					got, err := bases[backend][g.buildK].Rethreshold(qcfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := fmt.Sprintf("backend=%v build=(%g,k%d) query=(%g,k%d)",
+						backend, buildSup, g.buildK, querySup, queryK)
+					sameHoldTable(t, label, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRethresholdRejectsUncovered: lower support, deeper MaxK or a
+// different granule grid cannot be derived and must error.
+func TestRethresholdRejectsUncovered(t *testing.T) {
+	tbl := backendTestTable(t, 7)
+	base, err := BuildHoldTable(tbl, cacheTestCfg(0.1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		cacheTestCfg(0.05, 3), // support below build
+		cacheTestCfg(0.1, 4),  // deeper than built
+		cacheTestCfg(0.1, 0),  // unbounded vs bounded build
+	}
+	weekly := cacheTestCfg(0.1, 3)
+	weekly.Granularity = timegran.Week
+	bad = append(bad, weekly)
+	coarse := cacheTestCfg(0.1, 3)
+	coarse.MinGranuleTx = 5
+	bad = append(bad, coarse)
+	for i, cfg := range bad {
+		if _, err := base.Rethreshold(cfg); err == nil {
+			t.Errorf("case %d: Rethreshold accepted uncovered config %+v", i, cfg)
+		}
+	}
+}
+
+// TestHoldCacheHitMissRethreshold walks one cache through the three
+// lookup outcomes and checks both the counters and the results.
+func TestHoldCacheHitMissRethreshold(t *testing.T) {
+	tbl := backendTestTable(t, 42)
+	c := NewHoldCache(DefaultCacheBytes)
+
+	cfg := cacheTestCfg(0.05, 3)
+	h1, err := c.Get(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 0 || st.Entries != 1 {
+		t.Fatalf("after cold Get: %+v", st)
+	}
+
+	// Same thresholds again: exact hit, shared data.
+	h2, err := c.Get(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("after warm Get: %+v", st)
+	}
+	sameHoldTable(t, "exact hit", h1, h2)
+
+	// Higher support: served by re-thresholding, equal to a cold build.
+	qcfg := cacheTestCfg(0.1, 3)
+	warm, err := c.Get(tbl, qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Rethresholds != 1 || st.Misses != 1 {
+		t.Fatalf("after rethreshold Get: %+v", st)
+	}
+	cold, err := BuildHoldTable(tbl, qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHoldTable(t, "rethreshold", cold, warm)
+
+	// Lower support: not covered, rebuilds and replaces the entry.
+	lcfg := cacheTestCfg(0.02, 3)
+	if _, err := c.Get(tbl, lcfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("after lower-support Get: %+v", st)
+	}
+	// The broader entry now serves the original thresholds too.
+	if _, err := c.Get(tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Rethresholds != 2 || st.Misses != 2 {
+		t.Fatalf("after re-query at 0.05: %+v", st)
+	}
+}
+
+// TestHoldCacheMaxKCoverage: an unbounded build serves bounded queries;
+// a bounded build does not serve deeper or unbounded ones.
+func TestHoldCacheMaxKCoverage(t *testing.T) {
+	tbl := backendTestTable(t, 42)
+	c := NewHoldCache(DefaultCacheBytes)
+	if _, err := c.Get(tbl, cacheTestCfg(0.05, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Deeper than built: miss (and the new unbounded entry replaces it).
+	if _, err := c.Get(tbl, cacheTestCfg(0.05, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Rethresholds != 0 {
+		t.Fatalf("bounded entry served an unbounded query: %+v", st)
+	}
+	// Unbounded entry covers any bounded depth.
+	if _, err := c.Get(tbl, cacheTestCfg(0.05, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Rethresholds != 1 || st.Misses != 2 {
+		t.Fatalf("unbounded entry did not serve a bounded query: %+v", st)
+	}
+}
+
+// TestHoldCacheEpochInvalidation: an Append between statements must
+// force a rebuild, and the rebuilt table must see the new data.
+func TestHoldCacheEpochInvalidation(t *testing.T) {
+	tbl := backendTestTable(t, 42)
+	c := NewHoldCache(DefaultCacheBytes)
+	cfg := cacheTestCfg(0.05, 3)
+	h1, err := c.Get(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2001, 5, 30, 12, 0, 0, 0, time.UTC)
+	tbl.Append(at, itemset.New(500, 501))
+	h2, err := c.Get(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 || st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("Append did not invalidate: %+v", st)
+	}
+	if h2.NGranules() <= h1.NGranules() {
+		t.Fatalf("rebuilt table does not cover the appended granule: %d vs %d granules", h2.NGranules(), h1.NGranules())
+	}
+	// And the fresh entry serves hits again.
+	if _, err := c.Get(tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("no hit after rebuild: %+v", st)
+	}
+}
+
+// TestHoldCacheEviction: a budget that fits one table evicts the least
+// recently used entry when a second is inserted.
+func TestHoldCacheEviction(t *testing.T) {
+	tbl := backendTestTable(t, 42)
+	cfg1 := cacheTestCfg(0.05, 3)
+	h, err := BuildHoldTable(tbl, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewHoldCache(h.MemBytes() + h.MemBytes()/2)
+	if _, err := c.Get(tbl, cfg1); err != nil {
+		t.Fatal(err)
+	}
+	// A different MinGranuleTx is a different granule grid — a second
+	// cache key over the same table.
+	cfg2 := cacheTestCfg(0.05, 3)
+	cfg2.MinGranuleTx = 2
+	if _, err := c.Get(tbl, cfg2); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("expected one eviction leaving one entry: %+v", st)
+	}
+	if st.ResidentBytes > st.MaxBytes {
+		t.Fatalf("resident %d exceeds budget %d", st.ResidentBytes, st.MaxBytes)
+	}
+	// The first entry is gone: querying it again misses.
+	if _, err := c.Get(tbl, cfg1); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 3 {
+		t.Fatalf("evicted entry still served: %+v", st)
+	}
+}
+
+// gateTracer blocks the builder inside BuildHoldTable until the test
+// says every concurrent statement has reached the cache, making the
+// singleflight test deterministic.
+type gateTracer struct {
+	obs.NopTracer
+	gate chan struct{}
+}
+
+func (g *gateTracer) Enabled() bool { return true }
+func (g *gateTracer) StartTask(name string) {
+	if name == "core.BuildHoldTable" {
+		<-g.gate
+	}
+}
+
+// TestHoldCacheSingleflight: concurrent identical statements on a cold
+// cache trigger exactly one build; the rest wait and share it.
+func TestHoldCacheSingleflight(t *testing.T) {
+	tbl := backendTestTable(t, 42)
+	c := NewHoldCache(DefaultCacheBytes)
+	const n = 8
+	gt := &gateTracer{gate: make(chan struct{})}
+	cfg := cacheTestCfg(0.05, 3)
+	cfg.Tracer = gt
+
+	results := make([]*HoldTable, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := c.Get(tbl, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = h
+		}(i)
+	}
+	// One goroutine is the builder, parked at the gate inside
+	// BuildHoldTable; wait until the other n-1 have registered as
+	// waiters, then release it.
+	for {
+		if st := c.Stats(); st.Dedups == n-1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gt.gate)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Misses != 1 || st.Dedups != n-1 {
+		t.Fatalf("singleflight did not coalesce: %+v", st)
+	}
+	for i := 1; i < n; i++ {
+		sameHoldTable(t, fmt.Sprintf("waiter %d", i), results[0], results[i])
+	}
+}
+
+// TestHoldCacheNilSafe: a nil cache builds directly and keeps no state.
+func TestHoldCacheNilSafe(t *testing.T) {
+	tbl := backendTestTable(t, 7)
+	var c *HoldCache
+	h, err := c.Get(tbl, cacheTestCfg(0.1, 3))
+	if err != nil || h == nil {
+		t.Fatalf("nil cache Get: %v, %v", h, err)
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache has stats: %+v", st)
+	}
+	if NewHoldCache(0) != nil {
+		t.Fatal("NewHoldCache(0) should disable caching by returning nil")
+	}
+}

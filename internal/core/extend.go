@@ -153,7 +153,7 @@ func (h *HoldTable) Extend(tbl *tdb.TxTable) (*HoldTable, error) {
 		var carried []itemset.Set // tracked before: top up new granules
 		var fresh []itemset.Set   // need full-span counting
 		for _, c := range cands {
-			if h.counts[c.Key()] != nil {
+			if h.countsOf(c) != nil {
 				carried = append(carried, c)
 			} else {
 				fresh = append(fresh, c)

@@ -24,11 +24,11 @@ type GranuleStat struct {
 // only in summer?"). ok is false when the rule's itemset is not
 // granule-frequent anywhere — then no counts were retained.
 func (h *HoldTable) History(rc RuleCandidate) ([]GranuleStat, bool) {
-	fullCounts := h.counts[rc.Full.Key()]
+	fullCounts := h.countsOf(rc.Full)
 	if fullCounts == nil {
 		return nil, false
 	}
-	anteCounts := h.counts[rc.Ante.Key()]
+	anteCounts := h.countsOf(rc.Ante)
 	hold, _ := h.Holds(rc)
 	out := make([]GranuleStat, h.NGranules())
 	for gi := range out {
@@ -61,16 +61,31 @@ func RuleHistory(tbl *tdb.TxTable, cfg Config, ante, cons itemset.Set) ([]Granul
 	}
 	// Count exactly as deep as the rule needs: deeper wastes work,
 	// shallower would never count the rule's own itemset.
-	full := ante.Union(cons)
-	cfg.MaxK = full.Len()
+	cfg.MaxK = ante.Union(cons).Len()
 	h, err := BuildHoldTable(tbl, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return RuleHistoryFromTable(h, ante, cons)
+}
+
+// RuleHistoryFromTable is RuleHistory over a prebuilt HoldTable, which
+// must be at least len(ante ∪ cons) levels deep (MaxK 0 or ≥ it).
+func RuleHistoryFromTable(h *HoldTable, ante, cons itemset.Set) ([]GranuleStat, error) {
+	if ante.Len() == 0 || cons.Len() == 0 {
+		return nil, fmt.Errorf("core: rule history needs non-empty antecedent and consequent")
+	}
+	if ante.Intersect(cons).Len() != 0 {
+		return nil, fmt.Errorf("core: antecedent and consequent overlap")
+	}
+	full := ante.Union(cons)
+	if h.Cfg.MaxK != 0 && h.Cfg.MaxK < full.Len() {
+		return nil, fmt.Errorf("core: hold table counts only %d-itemsets; rule needs %d", h.Cfg.MaxK, full.Len())
+	}
 	stats, ok := h.History(RuleCandidate{Ante: ante, Cons: cons, Full: full})
 	if !ok {
 		return nil, fmt.Errorf("core: rule %v => %v is not frequent in any granule at support %g",
-			ante, cons, cfg.MinSupport)
+			ante, cons, h.Cfg.MinSupport)
 	}
 	return stats, nil
 }

@@ -39,12 +39,22 @@ func (h *HoldTable) NGranules() int { return int(h.Span.Len()) }
 
 // Counts returns the per-granule count vector of s, or nil when s is
 // not granule-frequent. The slice is shared: callers must not modify.
-func (h *HoldTable) Counts(s itemset.Set) []int32 { return h.counts[s.Key()] }
+func (h *HoldTable) Counts(s itemset.Set) []int32 { return h.countsOf(s) }
+
+// countsOf looks up s's count vector without allocating the key
+// string: the encoded key lives in a stack buffer and the map access
+// compiles to an allocation-free probe. The rule-enumeration loops
+// perform several lookups per candidate rule, which made Key() the
+// top allocator of the post-counting phase.
+func (h *HoldTable) countsOf(s itemset.Set) []int32 {
+	var a [64]byte
+	return h.counts[string(s.AppendKey(a[:0]))]
+}
 
 // FrequentAt reports whether s is frequent in the (active) granule at
 // offset gi.
 func (h *HoldTable) FrequentAt(s itemset.Set, gi int) bool {
-	v := h.counts[s.Key()]
+	v := h.countsOf(s)
 	return v != nil && h.Active[gi] && int(v[gi]) >= h.MinCounts[gi]
 }
 
@@ -112,23 +122,14 @@ func BuildHoldTable(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
 		tr.Gauge(obs.MetricGranulesActive, float64(h.NActive))
 	}
 
-	// Level 1: plain per-item counters.
+	// Level 1: plain per-item counters, sharded over granule blocks
+	// when workers are configured.
 	var t0 time.Time
 	if trace {
 		tr.StartPass(1)
 		t0 = time.Now()
 	}
-	c1 := make(map[itemset.Item][]int32)
-	h.eachActiveTx(tbl, func(gi int, tx itemset.Set) {
-		for _, x := range tx {
-			v := c1[x]
-			if v == nil {
-				v = make([]int32, n)
-				c1[x] = v
-			}
-			v[gi]++
-		}
-	})
+	c1 := h.countLevel1(tbl, cfg.Workers)
 	var l1 []itemset.Set
 	var l1Occurrences int64
 	for x, v := range c1 {
@@ -182,7 +183,7 @@ func BuildHoldTable(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
 			}
 			perGranule = bm.count(h, cands, cfg.Workers)
 		case backend == apriori.BackendNaive:
-			perGranule = h.countPerGranuleNaive(tbl, cands)
+			perGranule = h.countPerGranuleNaive(tbl, cands, cfg.Workers)
 		case cfg.Workers > 1:
 			perGranule, err = h.countPerGranuleParallel(tbl, cands, k, cfg.Workers)
 		default:
@@ -227,16 +228,109 @@ func (h *HoldTable) frequentSomewhere(v []int32) bool {
 }
 
 // eachActiveTx scans the span once, handing each transaction of each
-// active granule to fn with the granule offset.
+// active granule to fn with the granule offset. The scan is bounded to
+// the span's row range, so a table holding data outside the span (a
+// sub-span build) is not walked end to end.
 func (h *HoldTable) eachActiveTx(tbl *tdb.TxTable, fn func(gi int, tx itemset.Set)) {
-	tbl.Each(func(tx tdb.Tx) bool {
+	h.eachActiveTxRange(tbl, 0, len(h.Active), fn)
+}
+
+// eachActiveTxRange is eachActiveTx restricted to granule offsets
+// [lo, hi): the shard primitive of the parallel build. Each shard's
+// rows are located by binary search, so shards cost proportionally to
+// their own data.
+func (h *HoldTable) eachActiveTxRange(tbl *tdb.TxTable, lo, hi int, fn func(gi int, tx itemset.Set)) {
+	if lo >= hi {
+		return
+	}
+	iv := timegran.Interval{Lo: h.Span.Lo + int64(lo), Hi: h.Span.Lo + int64(hi) - 1}
+	tbl.EachInRange(h.Cfg.Granularity, iv, func(tx tdb.Tx) bool {
 		g := timegran.GranuleOf(tx.At, h.Cfg.Granularity)
 		gi := int(g - h.Span.Lo)
-		if gi >= 0 && gi < len(h.Active) && h.Active[gi] {
+		if gi >= lo && gi < hi && h.Active[gi] {
 			fn(gi, tx.Items)
 		}
 		return true
 	})
+}
+
+// granuleBlocks splits the granule offsets [0, n) into at most workers
+// contiguous, non-empty blocks [lo, hi).
+func granuleBlocks(n, workers int) [][2]int {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return [][2]int{{0, n}}
+	}
+	blocks := make([][2]int, 0, workers)
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		blocks = append(blocks, [2]int{lo, hi})
+	}
+	return blocks
+}
+
+// countLevel1 runs the level-1 item scan, producing each item's
+// per-granule count vector. With workers > 1 the span is sharded into
+// contiguous granule blocks counted concurrently; blocks own disjoint
+// granule columns, so the merged vectors are identical to a sequential
+// scan.
+func (h *HoldTable) countLevel1(tbl *tdb.TxTable, workers int) map[itemset.Item][]int32 {
+	n := h.NGranules()
+	blocks := granuleBlocks(n, workers)
+	if len(blocks) == 1 {
+		c1 := make(map[itemset.Item][]int32)
+		h.eachActiveTx(tbl, func(gi int, tx itemset.Set) {
+			for _, x := range tx {
+				v := c1[x]
+				if v == nil {
+					v = make([]int32, n)
+					c1[x] = v
+				}
+				v[gi]++
+			}
+		})
+		return c1
+	}
+	parts := make([]map[itemset.Item][]int32, len(blocks))
+	var wg sync.WaitGroup
+	for w, blk := range blocks {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make(map[itemset.Item][]int32)
+			h.eachActiveTxRange(tbl, lo, hi, func(gi int, tx itemset.Set) {
+				for _, x := range tx {
+					v := local[x]
+					if v == nil {
+						v = make([]int32, hi-lo)
+						local[x] = v
+					}
+					v[gi-lo]++
+				}
+			})
+			parts[w] = local
+		}(w, blk[0], blk[1])
+	}
+	wg.Wait()
+	c1 := make(map[itemset.Item][]int32)
+	for w, blk := range blocks {
+		lo := blk[0]
+		for x, lv := range parts[w] {
+			v := c1[x]
+			if v == nil {
+				v = make([]int32, n)
+				c1[x] = v
+			}
+			copy(v[lo:lo+len(lv)], lv)
+		}
+	}
+	return c1
 }
 
 // countPerGranule counts every candidate in every active granule in a
@@ -363,18 +457,37 @@ func (g *granuleBitmap) count(h *HoldTable, cands []itemset.Set, workers int) []
 // countPerGranuleNaive is the reference per-granule counter: a direct
 // subset test of every candidate against every transaction. It exists
 // so the cross-backend property tests have a trivially-correct anchor.
-func (h *HoldTable) countPerGranuleNaive(tbl *tdb.TxTable, cands []itemset.Set) [][]int32 {
+// workers > 1 shards the span into contiguous granule blocks; blocks
+// write disjoint columns of the output, so any worker count produces
+// the same matrix.
+func (h *HoldTable) countPerGranuleNaive(tbl *tdb.TxTable, cands []itemset.Set, workers int) [][]int32 {
 	out := make([][]int32, len(cands))
 	for i := range out {
 		out[i] = make([]int32, h.NGranules())
 	}
-	h.eachActiveTx(tbl, func(gi int, tx itemset.Set) {
-		for i, c := range cands {
-			if tx.ContainsAll(c) {
-				out[i][gi]++
+	countBlock := func(lo, hi int) {
+		h.eachActiveTxRange(tbl, lo, hi, func(gi int, tx itemset.Set) {
+			for i, c := range cands {
+				if tx.ContainsAll(c) {
+					out[i][gi]++
+				}
 			}
-		}
-	})
+		})
+	}
+	blocks := granuleBlocks(h.NGranules(), workers)
+	if len(blocks) == 1 {
+		countBlock(0, h.NGranules())
+		return out
+	}
+	var wg sync.WaitGroup
+	for _, blk := range blocks {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			countBlock(lo, hi)
+		}(blk[0], blk[1])
+	}
+	wg.Wait()
 	return out
 }
 
@@ -458,11 +571,11 @@ type RuleCandidate struct {
 // use the Active mask to tell "fails" from "no data". ok is false when
 // the full itemset is not granule-frequent (the rule can hold nowhere).
 func (h *HoldTable) Holds(rc RuleCandidate) (hold []bool, ok bool) {
-	fullCounts := h.counts[rc.Full.Key()]
+	fullCounts := h.countsOf(rc.Full)
 	if fullCounts == nil {
 		return nil, false
 	}
-	anteCounts := h.counts[rc.Ante.Key()]
+	anteCounts := h.countsOf(rc.Ante)
 	hold = make([]bool, h.NGranules())
 	for gi := range hold {
 		if !h.Active[gi] || int(fullCounts[gi]) < h.MinCounts[gi] {
@@ -503,9 +616,9 @@ func (h *HoldTable) EachRuleCandidate(fn func(rc RuleCandidate) bool) {
 // keep (indexed by granule offset): total transactions, support and
 // confidence over that sub-database.
 func (h *HoldTable) AggStats(rc RuleCandidate, keep func(gi int) bool) (rule apriori.Rule, ok bool) {
-	fullCounts := h.counts[rc.Full.Key()]
-	anteCounts := h.counts[rc.Ante.Key()]
-	consCounts := h.counts[rc.Cons.Key()]
+	fullCounts := h.countsOf(rc.Full)
+	anteCounts := h.countsOf(rc.Ante)
+	consCounts := h.countsOf(rc.Cons)
 	if fullCounts == nil {
 		return apriori.Rule{}, false
 	}

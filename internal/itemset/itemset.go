@@ -258,14 +258,20 @@ func (s Set) EachSubsetK1(fn func(sub Set) bool) {
 // little-endian in 4 bytes each; the encoding is injective, so two sets
 // share a key iff they are equal.
 func (s Set) Key() string {
-	b := make([]byte, 4*len(s))
-	for i, x := range s {
-		b[4*i] = byte(x)
-		b[4*i+1] = byte(x >> 8)
-		b[4*i+2] = byte(x >> 16)
-		b[4*i+3] = byte(x >> 24)
+	return string(s.AppendKey(make([]byte, 0, 4*len(s))))
+}
+
+// AppendKey appends the Key encoding of s to dst and returns the
+// extended slice. Hot paths that only *look up* a set in a
+// string-keyed map use it with a reused (or stack) buffer —
+// m[string(s.AppendKey(buf[:0]))] — which the compiler compiles to an
+// allocation-free map access, unlike m[s.Key()] which allocates the
+// key string on every call.
+func (s Set) AppendKey(dst []byte) []byte {
+	for _, x := range s {
+		dst = append(dst, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
 	}
-	return string(b)
+	return dst
 }
 
 // ParseKey inverts Key. It returns an error if the bytes are not a

@@ -370,3 +370,23 @@ func TestHashStability(t *testing.T) {
 		t.Error("trivial hash collision between {1,2,3} and {1,2,4}")
 	}
 }
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	sets := []Set{nil, New(0), New(7), New(1, 2, 3), New(1<<24 + 5, 1<<30)}
+	var buf [64]byte
+	for _, s := range sets {
+		if got := string(s.AppendKey(buf[:0])); got != s.Key() {
+			t.Errorf("AppendKey(%v) = %q, want %q", s, got, s.Key())
+		}
+	}
+	// Appending extends dst rather than overwriting it.
+	pre := []byte("x")
+	out := New(1, 2).AppendKey(pre)
+	if string(out[:1]) != "x" || string(out[1:]) != New(1, 2).Key() {
+		t.Errorf("AppendKey did not extend dst: %q", out)
+	}
+	// Distinct sets produce distinct keys.
+	if New(1, 2).Key() == New(1, 3).Key() {
+		t.Error("distinct sets share a key")
+	}
+}

@@ -87,6 +87,15 @@ const (
 	MetricHoldCells        = "hold_cells"        // itemsets × granules retained by a hold table (gauge)
 	MetricItemsetsFrequent = "itemsets_frequent" // frequent (or granule-frequent) itemsets (counter)
 	MetricStatements       = "statements"        // TML statements executed (counter)
+
+	// Hold-table cache (core.HoldCache) events.
+	MetricCacheHits          = "holdcache_hits"           // exact-threshold cache hits (counter)
+	MetricCacheRethresholds  = "holdcache_rethresholds"   // monotone re-threshold hits (counter)
+	MetricCacheMisses        = "holdcache_misses"         // misses that triggered a build (counter)
+	MetricCacheDedups        = "holdcache_dedups"         // statements that joined an in-flight build (counter)
+	MetricCacheEvictions     = "holdcache_evictions"      // entries evicted for space (counter)
+	MetricCacheInvalidations = "holdcache_invalidations"  // entries dropped on table writes (counter)
+	MetricCacheResidentCells = "holdcache_resident_cells" // itemsets × granules resident in the cache (gauge)
 )
 
 // NopTracer discards all events.

@@ -40,8 +40,10 @@ func TestTxTableConcurrentReadWrite(t *testing.T) {
 					src := tbl.RangeSource(timegran.Day, span)
 					n := 0
 					src.ForEach(func(itemset.Set) { n++ })
+					tbl.EachInRange(timegran.Day, span, func(Tx) bool { return true })
 				}
 				tbl.Len()
+				tbl.Epoch()
 			}
 		}()
 	}

@@ -178,6 +178,7 @@ func LoadTxTableSegmented(dir string) (*TxTable, SegmentConfig, error) {
 	tbl.txs = txs
 	tbl.nextID = m.nextID
 	tbl.sorted = false
+	tbl.epoch = int64(len(txs))
 	return tbl, m.cfg, nil
 }
 

@@ -347,6 +347,7 @@ func LoadTxTable(path string) (*TxTable, error) {
 	t.txs = txs
 	t.nextID = nextID
 	t.sorted = false // validate ordering lazily on first use
+	t.epoch = int64(len(txs))
 	return t, nil
 }
 

@@ -30,6 +30,7 @@ type TxTable struct {
 	txs    []Tx
 	sorted bool
 	nextID int64
+	epoch  int64
 }
 
 // NewTxTable creates an empty transaction table.
@@ -51,7 +52,8 @@ func (t *TxTable) Len() int {
 }
 
 // Append stores a transaction and returns its assigned ID. The items
-// are canonicalised defensively.
+// are canonicalised defensively. Every append bumps the table's epoch,
+// invalidating any derived structure keyed on it.
 func (t *TxTable) Append(at time.Time, items itemset.Set) int64 {
 	if !items.Valid() {
 		items = itemset.New(items...)
@@ -64,7 +66,18 @@ func (t *TxTable) Append(at time.Time, items itemset.Set) int64 {
 		t.sorted = false
 	}
 	t.txs = append(t.txs, Tx{ID: id, At: at.UTC(), Items: items})
+	t.epoch++
 	return id
+}
+
+// Epoch returns the table's write epoch: a counter bumped by every
+// Append. Derived structures (the hold-table cache) key on it so that a
+// write to the table invalidates them; two Epoch calls returning the
+// same value bracket a window with no completed writes.
+func (t *TxTable) Epoch() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
 }
 
 // ensureSorted sorts by timestamp if out-of-order appends happened.
@@ -200,6 +213,22 @@ func (t *TxTable) All() apriori.Source {
 				fn(tx.Items)
 			}
 		},
+	}
+}
+
+// EachInRange iterates, in time order, only the transactions whose
+// granule at g lies in iv; fn returning false stops. It narrows the
+// scan to the interval's row range by binary search, so iterating a
+// sub-span costs proportionally to the sub-span, not the table.
+func (t *TxTable) EachInRange(g timegran.Granularity, iv timegran.Interval, fn func(tx Tx) bool) {
+	t.ensureSorted()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i, j := t.rowRange(g, iv)
+	for ; i < j; i++ {
+		if !fn(t.txs[i]) {
+			return
+		}
 	}
 }
 

@@ -170,3 +170,47 @@ func TestTxTableAsTable(t *testing.T) {
 		t.Error("nil dict should render #id names")
 	}
 }
+
+func TestTxTableEpoch(t *testing.T) {
+	tbl, err := NewTxTable("e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Epoch() != 0 {
+		t.Fatalf("fresh table epoch = %d", tbl.Epoch())
+	}
+	dayTx(t, tbl, 2024, time.January, 1, 1, 2)
+	dayTx(t, tbl, 2024, time.January, 2, 2, 3)
+	if tbl.Epoch() != 2 {
+		t.Errorf("epoch after two appends = %d, want 2", tbl.Epoch())
+	}
+	// Reads must not advance the epoch.
+	tbl.Each(func(Tx) bool { return true })
+	tbl.Span(timegran.Day)
+	if tbl.Epoch() != 2 {
+		t.Errorf("epoch moved on read: %d", tbl.Epoch())
+	}
+}
+
+func TestTxTableEachInRange(t *testing.T) {
+	tbl := buildTxTable(t)
+	lo := timegran.GranuleOf(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC), timegran.Day)
+	iv := timegran.Interval{Lo: lo, Hi: lo + 1} // Jan 1–2
+	var got int
+	tbl.EachInRange(timegran.Day, iv, func(tx Tx) bool {
+		if g := timegran.GranuleOf(tx.At, timegran.Day); g < iv.Lo || g > iv.Hi {
+			t.Errorf("transaction at granule %d outside %v", g, iv)
+		}
+		got++
+		return true
+	})
+	if got != 3 {
+		t.Errorf("EachInRange visited %d transactions, want 3", got)
+	}
+	// Early exit stops the scan.
+	visits := 0
+	tbl.EachInRange(timegran.Day, iv, func(Tx) bool { visits++; return false })
+	if visits != 1 {
+		t.Errorf("early exit visited %d", visits)
+	}
+}

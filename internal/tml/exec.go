@@ -32,13 +32,24 @@ type Executor struct {
 	// stats EXPLAIN and Last surface). The CLI front ends install a
 	// RegistryTracer or ProgressTracer here.
 	Tracer obs.Tracer
+	// Cache holds the HoldTables of recent statements; the four
+	// temporal task drivers (periods, cycles, calendars, during) and
+	// rule history share it, so an interactive session pays the
+	// counting scan once per (table, granularity) and serves follow-up
+	// statements at equal-or-higher support from memory. Nil disables
+	// caching (every statement rebuilds). NewExecutor installs a
+	// default-sized cache; front ends resize it from their -cache flag.
+	Cache *core.HoldCache
 
 	mu        sync.Mutex
 	lastStats map[string]*obs.MineStats // per table, most recent run
 }
 
-// NewExecutor wraps a database.
-func NewExecutor(db *tdb.DB) *Executor { return &Executor{db: db} }
+// NewExecutor wraps a database. The hold-table cache starts at the
+// default budget; set Cache (possibly to nil) to resize or disable.
+func NewExecutor(db *tdb.DB) *Executor {
+	return &Executor{db: db, Cache: core.NewHoldCache(core.DefaultCacheBytes)}
+}
 
 // Exec parses and runs one TML statement.
 func (e *Executor) Exec(input string) (*minisql.Result, error) {
@@ -156,7 +167,14 @@ func (e *Executor) execHistory(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config
 	if err != nil {
 		return nil, err
 	}
-	stats, err := core.RuleHistory(tbl, cfg, ante, cons)
+	// Count exactly as deep as the rule needs; a cached table built
+	// deeper (or unbounded) still serves this via the coverage check.
+	cfg.MaxK = ante.Union(cons).Len()
+	h, err := e.Cache.Get(tbl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := core.RuleHistoryFromTable(h, ante, cons)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +244,11 @@ func (e *Executor) execTraditional(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Co
 }
 
 func (e *Executor) execDuring(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
-	rules, err := core.MineDuring(tbl, cfg, stmt.During)
+	h, err := e.Cache.Get(tbl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rules, err := core.MineDuringFromTable(h, stmt.During)
 	if err != nil {
 		return nil, err
 	}
@@ -283,7 +305,11 @@ func (e *Executor) execDuring(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config)
 }
 
 func (e *Executor) execPeriods(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
-	rules, err := core.MineValidPeriods(tbl, cfg, core.PeriodConfig{MinLen: stmt.MinLength})
+	h, err := e.Cache.Get(tbl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rules, err := core.MineValidPeriodsFromTable(h, core.PeriodConfig{MinLen: stmt.MinLength})
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +328,11 @@ func (e *Executor) execPeriods(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config
 
 func (e *Executor) execCycles(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
 	ccfg := core.CycleConfig{MaxLen: stmt.MaxLength, MinReps: stmt.MinReps}
-	rules, err := core.MineCycles(tbl, cfg, ccfg)
+	h, err := e.Cache.Get(tbl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rules, err := core.MineCyclesFromTable(h, ccfg)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +347,11 @@ func (e *Executor) execCycles(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config)
 
 func (e *Executor) execCalendars(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
 	ccfg := core.CycleConfig{MinReps: stmt.MinReps}
-	rules, err := core.MineCalendarPeriodicities(tbl, cfg, ccfg)
+	h, err := e.Cache.Get(tbl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rules, err := core.MineCalendarPeriodicitiesFromTable(h, ccfg)
 	if err != nil {
 		return nil, err
 	}

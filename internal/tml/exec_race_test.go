@@ -1,0 +1,125 @@
+package tml
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/minisql"
+)
+
+// sameResult compares two result tables cell by cell.
+func sameResult(t *testing.T, label string, want, got *minisql.Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i, wr := range want.Rows {
+		for j := range wr {
+			if got.Rows[i][j] != wr[j] {
+				t.Fatalf("%s: row %d col %d = %v, want %v", label, i, j, got.Rows[i][j], wr[j])
+			}
+		}
+	}
+}
+
+// TestExecutorConcurrentStatements runs a mixed TML workload from many
+// goroutines against one executor — the shape of parallel IQMS
+// sessions sharing a server — and checks every statement's result
+// equals its serial run. Run with -race: it exercises the hold-table
+// cache's locking, singleflight and LRU paths concurrently.
+func TestExecutorConcurrentStatements(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	statements := []string{
+		`MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 1.0 MIN LENGTH 2`,
+		`MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 0.9 MAX LENGTH 10`,
+		`MINE CALENDARS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 0.9`,
+		`MINE RULES FROM baskets DURING 'weekday in (sat, sun)' THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 0.8`,
+		`MINE HISTORY FROM baskets RULE 'bbq => charcoal' THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`,
+	}
+	// Serial reference results.
+	want := make([]*minisql.Result, len(statements))
+	for i, s := range statements {
+		res, err := ex.Exec(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		want[i] = res
+	}
+	const goroutines = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(statements)
+				res, err := ex.Exec(statements[i])
+				if err != nil {
+					t.Errorf("goroutine %d: %s: %v", g, statements[i], err)
+					return
+				}
+				sameResult(t, fmt.Sprintf("goroutine %d stmt %d", g, i), want[i], res)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := ex.Cache.Stats()
+	if st.Hits+st.Rethresholds == 0 {
+		t.Errorf("concurrent workload never hit the cache: %+v", st)
+	}
+}
+
+// TestExecutorConcurrentAppends mines while a writer appends: every
+// statement must still succeed (rebuilding when its cached table went
+// stale), and the cache must end up consistent with the final epoch.
+func TestExecutorConcurrentAppends(t *testing.T) {
+	db := fixtureDB(t)
+	tbl, _ := db.TxTable("baskets")
+	ex := NewExecutor(db)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		at := time.Date(2024, 2, 1, 12, 0, 0, 0, time.UTC)
+		for i := 0; i < 200; i++ {
+			tbl.Append(at.AddDate(0, 0, i%10), db.Dict().InternAll("bread", "milk"))
+		}
+		close(stop)
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := ex.Exec(`MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 1.0 MIN LENGTH 2`); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The table is quiescent now: one more statement must reconcile the
+	// cache with the final epoch, and a second must hit.
+	if _, err := ex.Exec(`MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 1.0 MIN LENGTH 2`); err != nil {
+		t.Fatal(err)
+	}
+	before := ex.Cache.Stats()
+	if _, err := ex.Exec(`MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 1.0 MIN LENGTH 2`); err != nil {
+		t.Fatal(err)
+	}
+	after := ex.Cache.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Errorf("quiescent re-run did not hit the cache: before %+v, after %+v", before, after)
+	}
+}

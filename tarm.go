@@ -179,7 +179,22 @@ type (
 	// refresh it incrementally with its Extend method as new
 	// transactions arrive.
 	HoldTable = core.HoldTable
+	// HoldCache is a memory-bounded LRU cache of HoldTables that serves
+	// statements at equal-or-higher support from memory by
+	// re-thresholding the stored count vectors; see NewHoldCache.
+	HoldCache = core.HoldCache
+	// CacheStats is a HoldCache counter snapshot.
+	CacheStats = core.CacheStats
 )
+
+// DefaultCacheBytes is the hold-table cache budget front ends use when
+// none is configured.
+const DefaultCacheBytes = core.DefaultCacheBytes
+
+// NewHoldCache returns a hold-table cache bounded to roughly maxBytes
+// (maxBytes ≤ 0 returns nil, which disables caching: a nil *HoldCache
+// builds directly on every Get).
+func NewHoldCache(maxBytes int64) *HoldCache { return core.NewHoldCache(maxBytes) }
 
 // BuildHoldTable runs the shared counting pass; the *FromTable mining
 // variants in internal/core run any task over it without rescanning.
