@@ -18,13 +18,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"time"
 
 	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/core"
@@ -41,6 +45,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel counting workers (0 = sequential)")
 	cacheMB := flag.Int("cache", int(core.DefaultCacheBytes>>20), "hold-table cache budget in MB (0 = disable caching)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
+	timeout := flag.Duration("timeout", 0, "abort any single statement after this long, e.g. 30s (0 = no limit)")
 	flag.Parse()
 
 	backend, err := apriori.ParseBackend(*backendName)
@@ -78,17 +83,70 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := run(session, db, f, os.Stdout, os.Stderr, false); err != nil {
+		// Script mode keeps the default SIGINT behaviour: Ctrl-C kills
+		// the whole run, as batch tools are expected to.
+		if err := run(session, db, f, os.Stdout, os.Stderr, false, execOpts{timeout: *timeout}); err != nil {
 			fmt.Fprintln(os.Stderr, "iqms:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	fmt.Println("IQMS — integrated query and mining system. \\help for help, \\quit to exit.")
-	if err := run(session, db, os.Stdin, os.Stdout, os.Stderr, true); err != nil {
+	intr := newInterrupts(os.Stderr)
+	if err := run(session, db, os.Stdin, os.Stdout, os.Stderr, true, execOpts{timeout: *timeout, intr: intr}); err != nil {
 		fmt.Fprintln(os.Stderr, "iqms:", err)
 		os.Exit(1)
 	}
+}
+
+// execOpts carries the per-statement execution controls of the REPL.
+type execOpts struct {
+	timeout time.Duration // abort a statement after this long; 0 = no limit
+	intr    *interrupts   // Ctrl-C routing; nil = default signal handling
+}
+
+// interrupts routes SIGINT to the running statement: in an interactive
+// session Ctrl-C cancels the statement in flight — the session itself
+// stays up — and when nothing is running it just prints a hint, so the
+// only ways out remain \quit and EOF.
+type interrupts struct {
+	mu     sync.Mutex
+	cancel context.CancelFunc // non-nil while a statement runs
+	errw   io.Writer
+}
+
+// newInterrupts installs the SIGINT handler and starts routing.
+func newInterrupts(errw io.Writer) *interrupts {
+	i := &interrupts{errw: errw}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		for range ch {
+			i.mu.Lock()
+			cancel := i.cancel
+			i.mu.Unlock()
+			if cancel != nil {
+				cancel()
+			} else {
+				fmt.Fprintln(i.errw, "interrupt: no statement running (\\quit to exit)")
+			}
+		}
+	}()
+	return i
+}
+
+// arm registers the running statement's cancel func.
+func (i *interrupts) arm(cancel context.CancelFunc) {
+	i.mu.Lock()
+	i.cancel = cancel
+	i.mu.Unlock()
+}
+
+// disarm clears it once the statement finishes.
+func (i *interrupts) disarm() {
+	i.mu.Lock()
+	i.cancel = nil
+	i.mu.Unlock()
 }
 
 // serveMetrics binds addr, serves the observability mux in the
@@ -114,7 +172,7 @@ func serveMetrics(addr string, session *tml.Session) error {
 // ';' (or at end of line for \-commands). In interactive mode errors
 // are printed to errw and the loop continues — stdout stays clean for
 // result tables; in script mode the first error aborts.
-func run(session *tml.Session, db *tdb.DB, r io.Reader, w, errw io.Writer, interactive bool) error {
+func run(session *tml.Session, db *tdb.DB, r io.Reader, w, errw io.Writer, interactive bool, opts execOpts) error {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -157,7 +215,7 @@ func run(session *tml.Session, db *tdb.DB, r io.Reader, w, errw io.Writer, inter
 		}
 		stmt := strings.TrimSpace(buf.String())
 		buf.Reset()
-		if err := execOne(session, stmt, w); err != nil {
+		if err := execOne(session, stmt, w, opts); err != nil {
 			if !interactive {
 				return err
 			}
@@ -171,8 +229,26 @@ func run(session *tml.Session, db *tdb.DB, r io.Reader, w, errw io.Writer, inter
 	return scanner.Err()
 }
 
-func execOne(session *tml.Session, stmt string, w io.Writer) error {
-	res, err := session.Exec(stmt)
+// execOne runs one statement under the session's controls: an optional
+// -timeout deadline, and — interactively — a Ctrl-C cancel armed for
+// exactly the statement's duration. A cancelled mining statement
+// returns context.Canceled (or DeadlineExceeded) as an ordinary error,
+// which the interactive loop prints before the next prompt.
+func execOne(session *tml.Session, stmt string, w io.Writer, opts execOpts) error {
+	ctx := context.Background()
+	if opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
+	}
+	if opts.intr != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		opts.intr.arm(cancel)
+		defer opts.intr.disarm()
+	}
+	res, err := session.ExecContext(ctx, stmt)
 	if err != nil {
 		return err
 	}

@@ -37,7 +37,7 @@ GROUP BY item;
 MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.6;
 `)
 	var out, errs strings.Builder
-	if err := run(session, db, script, &out, &errs, false); err != nil {
+	if err := run(session, db, script, &out, &errs, false, execOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -51,7 +51,7 @@ func TestRunScriptAbortsOnError(t *testing.T) {
 	session := tml.NewSession(db)
 	script := strings.NewReader("SELECT nope FROM baskets;\nSELECT 1 FROM baskets;")
 	var out, errs strings.Builder
-	if err := run(session, db, script, &out, &errs, false); err == nil {
+	if err := run(session, db, script, &out, &errs, false, execOpts{}); err == nil {
 		t.Error("script error not propagated")
 	}
 }
@@ -61,7 +61,7 @@ func TestRunInteractiveContinuesOnError(t *testing.T) {
 	session := tml.NewSession(db)
 	input := strings.NewReader("SELECT nope FROM baskets;\nSHOW TABLES;\n\\quit\n")
 	var out, errs strings.Builder
-	if err := run(session, db, input, &out, &errs, true); err != nil {
+	if err := run(session, db, input, &out, &errs, true, execOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// Diagnostics land on the error stream, not stdout.
@@ -157,7 +157,7 @@ func TestServeMetrics(t *testing.T) {
 	before := obs.Default.Counter("tarm_statements_total").Value()
 	var out, errs strings.Builder
 	input := strings.NewReader("MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5;\n")
-	if err := run(session, db, input, &out, &errs, false); err != nil {
+	if err := run(session, db, input, &out, &errs, false, execOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := obs.Default.Counter("tarm_statements_total").Value(); got != before+1 {

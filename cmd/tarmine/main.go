@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +36,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel counting workers (0 = sequential)")
 	statsPath := flag.String("stats", "", "write mining telemetry JSON to this file ('-' = stdout; the result table then goes to stderr)")
 	progress := flag.Bool("progress", false, "render per-pass mining progress to stderr")
+	timeout := flag.Duration("timeout", 0, "abort the statement after this long, e.g. 30s (0 = no limit)")
 	flag.Parse()
 
 	backend, err := apriori.ParseBackend(*backendName)
@@ -74,7 +76,13 @@ func main() {
 		if *statsPath == "-" {
 			out = os.Stderr
 		}
-		if err := execStatement(*dbDir, *stmt, backend, *workers, out, obs.Multi(tracers...)); err != nil {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		if err := execStatement(ctx, *dbDir, *stmt, backend, *workers, out, obs.Multi(tracers...)); err != nil {
 			fmt.Fprintln(os.Stderr, "tarmine:", err)
 			os.Exit(1)
 		}
@@ -90,9 +98,10 @@ func main() {
 	}
 }
 
-// execStatement opens the database and runs one TML or SQL statement,
-// feeding any mining telemetry to tracer.
-func execStatement(dbDir, stmt string, backend apriori.Backend, workers int, w io.Writer, tracer obs.Tracer) error {
+// execStatement opens the database and runs one TML or SQL statement
+// under ctx, feeding any mining telemetry to tracer. A mining
+// statement cancelled by -timeout returns context.DeadlineExceeded.
+func execStatement(ctx context.Context, dbDir, stmt string, backend apriori.Backend, workers int, w io.Writer, tracer obs.Tracer) error {
 	db, err := tdb.Open(dbDir)
 	if err != nil {
 		return err
@@ -101,7 +110,7 @@ func execStatement(dbDir, stmt string, backend apriori.Backend, workers int, w i
 	session.TML.Backend = backend
 	session.TML.Workers = workers
 	session.TML.Tracer = tracer
-	res, err := session.Exec(stmt)
+	res, err := session.ExecContext(ctx, stmt)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -42,7 +43,7 @@ func fixtureDir(t *testing.T) string {
 func TestExecStatement(t *testing.T) {
 	dir := fixtureDir(t)
 	var out strings.Builder
-	if err := execStatement(dir, `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`, apriori.BackendBitmap, 2, &out, nil); err != nil {
+	if err := execStatement(context.Background(), dir, `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`, apriori.BackendBitmap, 2, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "{bread}") {
@@ -50,14 +51,14 @@ func TestExecStatement(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := execStatement(dir, `SELECT COUNT(*) AS n FROM baskets`, apriori.BackendAuto, 0, &out, nil); err != nil {
+	if err := execStatement(context.Background(), dir, `SELECT COUNT(*) AS n FROM baskets`, apriori.BackendAuto, 0, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "168") { // 14 days × 6 tx × 2 items
 		t.Errorf("SQL output: %q", out.String())
 	}
 
-	if err := execStatement(dir, `MINE garbage`, apriori.BackendAuto, 0, &out, nil); err == nil {
+	if err := execStatement(context.Background(), dir, `MINE garbage`, apriori.BackendAuto, 0, &out, nil); err == nil {
 		t.Error("bad statement accepted")
 	}
 }
@@ -71,7 +72,7 @@ func TestStatsDump(t *testing.T) {
 	var progress, out strings.Builder
 	tracer := obs.Multi(collect, obs.NewProgressTracer(&progress))
 	stmt := `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`
-	if err := execStatement(dir, stmt, apriori.BackendBitmap, 1, &out, tracer); err != nil {
+	if err := execStatement(context.Background(), dir, stmt, apriori.BackendBitmap, 1, &out, tracer); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "stats.json")

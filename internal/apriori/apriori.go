@@ -1,6 +1,7 @@
 package apriori
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -144,6 +145,13 @@ var ErrEmptySource = errors.New("apriori: source has no transactions")
 // Mine runs the level-wise algorithm over src and returns all frequent
 // itemsets under cfg.
 func Mine(src Source, cfg Config) (*Frequent, error) {
+	return MineContext(context.Background(), src, cfg)
+}
+
+// MineContext is Mine under a context. Cancellation is observed at
+// pass boundaries — a pass that has started runs to completion, so the
+// latency of a cancel is one counting pass, never one transaction.
+func MineContext(ctx context.Context, src Source, cfg Config) (*Frequent, error) {
 	n := src.Len()
 	if n == 0 {
 		return nil, ErrEmptySource
@@ -162,6 +170,10 @@ func Mine(src Source, cfg Config) (*Frequent, error) {
 	if trace {
 		tr.StartTask("apriori.Mine")
 		defer tr.EndTask()
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Level 1: one pass with a plain counter map.
@@ -204,6 +216,9 @@ func Mine(src Source, cfg Config) (*Frequent, error) {
 	}
 	prev := l1
 	for k := 2; len(prev) > 0 && (cfg.MaxK == 0 || k <= cfg.MaxK); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if trace {
 			tr.StartPass(k)
 			t0 = time.Now()

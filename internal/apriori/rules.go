@@ -1,6 +1,7 @@
 package apriori
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -143,8 +144,18 @@ func joinConsequents(level []itemset.Set) []itemset.Set {
 
 // MineRules is the one-call convenience: frequent itemsets plus rules.
 func MineRules(src Source, cfg Config, rcfg RuleConfig) (*Frequent, []Rule, error) {
-	f, err := Mine(src, cfg)
+	return MineRulesContext(context.Background(), src, cfg, rcfg)
+}
+
+// MineRulesContext is MineRules under a context: the level-wise mining
+// passes observe cancellation, and rule generation (cheap relative to
+// counting) is entered only if the context is still live.
+func MineRulesContext(ctx context.Context, src Source, cfg Config, rcfg RuleConfig) (*Frequent, []Rule, error) {
+	f, err := MineContext(ctx, src, cfg)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	rules, err := GenerateRules(f, rcfg)

@@ -2,6 +2,8 @@ package core
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -144,73 +146,132 @@ func maxKCovers(have, want int) bool {
 // tracer are the caller's — and must be treated as read-only, like
 // every shared HoldTable. A nil cache builds directly.
 func (c *HoldCache) Get(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
+	return c.GetContext(context.Background(), tbl, cfg)
+}
+
+// GetContext is Get under a context. Cancellation reaches every path:
+// a cold build runs BuildHoldTableContext, and a singleflight waiter
+// selects on ctx alongside the flight — a cancelled waiter returns
+// ctx.Err() immediately while the build keeps running for the others.
+// When the *winning* builder is the one cancelled, its flight fails
+// with a context error that is not the waiter's own; such waiters
+// retry with a fresh build rather than inheriting a dead statement's
+// failure. Failed builds are never inserted, so a cancelled build
+// leaves no poisoned entry behind.
+func (c *HoldCache) GetContext(ctx context.Context, tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
 	if c == nil {
-		return BuildHoldTable(tbl, cfg)
+		return BuildHoldTableContext(ctx, tbl, cfg)
 	}
 	cfg, err := cfg.normalise()
 	if err != nil {
 		return nil, err
 	}
 	key := cacheKey{table: tbl.Name(), granularity: cfg.Granularity, minGranuleTx: cfg.MinGranuleTx}
-	epoch := tbl.Epoch()
 	tr := cfg.tracer()
 
-	c.mu.Lock()
-	if ent := c.byKey[key]; ent != nil {
-		if ent.epoch != epoch {
-			// The table was written since this entry was built.
-			c.removeLocked(ent)
-			c.stats.Invalidations++
-			tr.Counter(obs.MetricCacheInvalidations, 1)
-			c.gaugeLocked(tr)
-		} else if ent.buildSupport <= cfg.MinSupport && maxKCovers(ent.maxK, cfg.MaxK) {
-			c.lru.MoveToFront(ent.elem)
-			h := ent.h
-			if cfg.MinSupport == ent.buildSupport && cfg.MaxK == ent.maxK {
-				c.stats.Hits++
-				c.mu.Unlock()
-				tr.Counter(obs.MetricCacheHits, 1)
-				return h.withCfg(cfg), nil
-			}
-			c.stats.Rethresholds++
-			c.mu.Unlock()
-			tr.Counter(obs.MetricCacheRethresholds, 1)
-			return h.Rethreshold(cfg)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-	}
-	// Miss. Join an identical in-flight build, or start one.
-	fk := flightKey{cacheKey: key, epoch: epoch, support: cfg.MinSupport, maxK: cfg.MaxK}
-	if f := c.flights[fk]; f != nil {
-		c.stats.Dedups++
-		c.mu.Unlock()
-		tr.Counter(obs.MetricCacheDedups, 1)
-		<-f.done
-		if f.err != nil {
+		// Re-read the epoch each attempt: a retry may straddle a write.
+		epoch := tbl.Epoch()
+		c.mu.Lock()
+		if ent := c.byKey[key]; ent != nil {
+			if ent.epoch != epoch {
+				// The table was written since this entry was built.
+				c.removeLocked(ent)
+				c.stats.Invalidations++
+				tr.Counter(obs.MetricCacheInvalidations, 1)
+				c.gaugeLocked(tr)
+			} else if ent.buildSupport <= cfg.MinSupport && maxKCovers(ent.maxK, cfg.MaxK) {
+				c.lru.MoveToFront(ent.elem)
+				h := ent.h
+				if cfg.MinSupport == ent.buildSupport && cfg.MaxK == ent.maxK {
+					c.stats.Hits++
+					c.mu.Unlock()
+					tr.Counter(obs.MetricCacheHits, 1)
+					return h.withCfg(cfg), nil
+				}
+				c.stats.Rethresholds++
+				c.mu.Unlock()
+				tr.Counter(obs.MetricCacheRethresholds, 1)
+				return h.Rethreshold(cfg)
+			}
+		}
+		// Miss. Join an identical in-flight build, or start one.
+		fk := flightKey{cacheKey: key, epoch: epoch, support: cfg.MinSupport, maxK: cfg.MaxK}
+		if f := c.flights[fk]; f != nil {
+			c.stats.Dedups++
+			c.mu.Unlock()
+			tr.Counter(obs.MetricCacheDedups, 1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-f.done:
+			}
+			if f.err == nil {
+				return f.h.withCfg(cfg), nil
+			}
+			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+				// The winning builder's statement was cancelled, not
+				// ours (our ctx passed the select or is checked at the
+				// loop top). Its flight is gone from the map, so retry
+				// with a clean build instead of failing a live
+				// statement with a dead one's error.
+				continue
+			}
 			return nil, f.err
 		}
-		return f.h.withCfg(cfg), nil
+		f := &flight{done: make(chan struct{})}
+		c.flights[fk] = f
+		c.stats.Misses++
+		c.mu.Unlock()
+		tr.Counter(obs.MetricCacheMisses, 1)
+
+		h, err := BuildHoldTableContext(ctx, tbl, cfg)
+		f.h, f.err = h, err
+		close(f.done)
+
+		c.mu.Lock()
+		delete(c.flights, fk)
+		if err == nil && tbl.Epoch() == epoch {
+			// Only cache builds not raced by a write: a scan overlapping an
+			// Append may contain the new rows, and caching it under the old
+			// epoch would serve them to readers of the old state.
+			c.insertLocked(key, epoch, cfg, h, tr)
+		}
+		c.gaugeLocked(tr)
+		c.mu.Unlock()
+		return h, err
 	}
-	f := &flight{done: make(chan struct{})}
-	c.flights[fk] = f
-	c.stats.Misses++
-	c.mu.Unlock()
-	tr.Counter(obs.MetricCacheMisses, 1)
+}
 
-	h, err := BuildHoldTable(tbl, cfg)
-	f.h, f.err = h, err
-	close(f.done)
-
+// Probe reports how GetContext would serve (tbl, cfg) right now, for
+// plan-time EXPLAIN annotation: "hit" (a resident entry matches the
+// thresholds exactly), "rethreshold" (a resident entry covers them at
+// lower support / deeper MaxK) or "build" (no covering entry; a Get
+// would build or join an in-flight build). Read-only: no counter, LRU
+// or invalidation side effects. A nil cache always reports "build".
+func (c *HoldCache) Probe(tbl *tdb.TxTable, cfg Config) string {
+	if c == nil {
+		return "build"
+	}
+	cfg, err := cfg.normalise()
+	if err != nil {
+		return "build"
+	}
+	key := cacheKey{table: tbl.Name(), granularity: cfg.Granularity, minGranuleTx: cfg.MinGranuleTx}
+	epoch := tbl.Epoch()
 	c.mu.Lock()
-	delete(c.flights, fk)
-	if err == nil && tbl.Epoch() == epoch {
-		// Only cache builds not raced by a write: a scan overlapping an
-		// Append may contain the new rows, and caching it under the old
-		// epoch would serve them to readers of the old state.
-		c.insertLocked(key, epoch, cfg, h, tr)
+	defer c.mu.Unlock()
+	ent := c.byKey[key]
+	if ent == nil || ent.epoch != epoch || ent.buildSupport > cfg.MinSupport || !maxKCovers(ent.maxK, cfg.MaxK) {
+		return "build"
 	}
-	c.gaugeLocked(tr)
-	c.mu.Unlock()
-	return h, err
+	if cfg.MinSupport == ent.buildSupport && cfg.MaxK == ent.maxK {
+		return "hit"
+	}
+	return "rethreshold"
 }
 
 // insertLocked adds a freshly built table, replacing the key's

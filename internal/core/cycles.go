@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -47,28 +48,39 @@ type CyclicRule struct {
 // exact cycles in the sense of Özden et al.; lower values tolerate
 // noise. Redundant multiples of discovered cycles are suppressed.
 func MineCycles(tbl *tdb.TxTable, cfg Config, ccfg CycleConfig) ([]CyclicRule, error) {
-	h, err := BuildHoldTable(tbl, cfg)
+	return MineCyclesContext(context.Background(), tbl, cfg, ccfg)
+}
+
+// MineCyclesContext is MineCycles under a context.
+func MineCyclesContext(ctx context.Context, tbl *tdb.TxTable, cfg Config, ccfg CycleConfig) ([]CyclicRule, error) {
+	h, err := BuildHoldTableContext(ctx, tbl, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return MineCyclesFromTable(h, ccfg)
+	return MineCyclesFromTableContext(ctx, h, ccfg)
 }
 
 // MineCyclesFromTable is MineCycles over a prebuilt HoldTable.
 func MineCyclesFromTable(h *HoldTable, ccfg CycleConfig) ([]CyclicRule, error) {
+	return MineCyclesFromTableContext(context.Background(), h, ccfg)
+}
+
+// MineCyclesFromTableContext is MineCyclesFromTable under a context;
+// cancellation is sampled every few hundred candidates.
+func MineCyclesFromTableContext(ctx context.Context, h *HoldTable, ccfg CycleConfig) ([]CyclicRule, error) {
 	ccfg, err := ccfg.normalise()
 	if err != nil {
 		return nil, err
 	}
 	if tr := h.Cfg.tracer(); tr.Enabled() {
-		tr.StartTask("task:cycles")
+		tr.StartTask(obs.TaskSpan(obs.TaskCycles))
 		defer tr.EndTask()
 	}
 	var out []CyclicRule
-	h.EachRuleCandidate(func(rc RuleCandidate) bool {
+	err = ruleCandidateLoop(ctx, h, func(rc RuleCandidate) {
 		hold, ok := h.Holds(rc)
 		if !ok {
-			return true
+			return
 		}
 		cycles := detectCycles(hold, h.Active, h.Span.Lo, ccfg.MaxLen, ccfg.MinReps, h.Cfg.MinFreq)
 		for _, cyc := range FilterRedundantCycles(cycles) {
@@ -90,8 +102,10 @@ func MineCyclesFromTable(h *HoldTable, ccfg CycleConfig) ([]CyclicRule, error) {
 				Cycle: cyc,
 			})
 		}
-		return true
 	})
+	if err != nil {
+		return nil, err
+	}
 	sortCyclicRules(out)
 	h.Cfg.tracer().Counter(obs.MetricRulesEmitted, int64(len(out)))
 	return out, nil
@@ -232,22 +246,34 @@ func calendarFieldsFor(g timegran.Granularity) []timegran.CalField {
 // true and belongs to Task I/III output, not here). Classes need at
 // least minReps occurrences, reusing CycleConfig.MinReps.
 func MineCalendarPeriodicities(tbl *tdb.TxTable, cfg Config, ccfg CycleConfig) ([]CalendarRule, error) {
-	h, err := BuildHoldTable(tbl, cfg)
+	return MineCalendarPeriodicitiesContext(context.Background(), tbl, cfg, ccfg)
+}
+
+// MineCalendarPeriodicitiesContext is MineCalendarPeriodicities under
+// a context.
+func MineCalendarPeriodicitiesContext(ctx context.Context, tbl *tdb.TxTable, cfg Config, ccfg CycleConfig) ([]CalendarRule, error) {
+	h, err := BuildHoldTableContext(ctx, tbl, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return MineCalendarPeriodicitiesFromTable(h, ccfg)
+	return MineCalendarPeriodicitiesFromTableContext(ctx, h, ccfg)
 }
 
 // MineCalendarPeriodicitiesFromTable is MineCalendarPeriodicities over
 // a prebuilt HoldTable.
 func MineCalendarPeriodicitiesFromTable(h *HoldTable, ccfg CycleConfig) ([]CalendarRule, error) {
+	return MineCalendarPeriodicitiesFromTableContext(context.Background(), h, ccfg)
+}
+
+// MineCalendarPeriodicitiesFromTableContext is the context-aware form;
+// cancellation is sampled every few hundred candidates.
+func MineCalendarPeriodicitiesFromTableContext(ctx context.Context, h *HoldTable, ccfg CycleConfig) ([]CalendarRule, error) {
 	ccfg, err := ccfg.normalise()
 	if err != nil {
 		return nil, err
 	}
 	if tr := h.Cfg.tracer(); tr.Enabled() {
-		tr.StartTask("task:calendars")
+		tr.StartTask(obs.TaskSpan(obs.TaskCalendars))
 		defer tr.EndTask()
 	}
 	fields := calendarFieldsFor(h.Cfg.Granularity)
@@ -265,10 +291,10 @@ func MineCalendarPeriodicitiesFromTable(h *HoldTable, ccfg CycleConfig) ([]Calen
 	}
 
 	var out []CalendarRule
-	h.EachRuleCandidate(func(rc RuleCandidate) bool {
+	err = ruleCandidateLoop(ctx, h, func(rc RuleCandidate) {
 		hold, ok := h.Holds(rc)
 		if !ok {
-			return true
+			return
 		}
 		for fi, f := range fields {
 			lo, hi := timegran.FieldDomain(f)
@@ -334,8 +360,10 @@ func MineCalendarPeriodicitiesFromTable(h *HoldTable, ccfg CycleConfig) ([]Calen
 				Field: f,
 			})
 		}
-		return true
 	})
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if c := out[i].Rule.Compare(out[j].Rule); c != 0 {
 			return c < 0

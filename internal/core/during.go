@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/tarm-project/tarm/internal/apriori"
@@ -8,6 +9,40 @@ import (
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/timegran"
 )
+
+// cancelStride is how many rule candidates the task drivers enumerate
+// between context checks: coarse enough to stay off the hot path,
+// fine enough to stop a large enumeration promptly.
+const cancelStride = 256
+
+// ruleCandidateLoop runs fn for every rule candidate of h, sampling
+// ctx every cancelStride candidates, and returns ctx.Err() when the
+// enumeration stopped on cancellation. It is the shared cancellation
+// scaffold of the task drivers.
+func ruleCandidateLoop(ctx context.Context, h *HoldTable, fn func(rc RuleCandidate)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := ctx.Done()
+	seen := 0
+	cancelled := false
+	h.EachRuleCandidate(func(rc RuleCandidate) bool {
+		if seen++; done != nil && seen%cancelStride == 0 {
+			select {
+			case <-done:
+				cancelled = true
+				return false
+			default:
+			}
+		}
+		fn(rc)
+		return true
+	})
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
+}
 
 // MineDuring runs Task III: given a temporal feature expressed as a
 // calendar-algebra pattern, find the association rules that hold during
@@ -19,6 +54,12 @@ import (
 // granules, so it builds its HoldTable from the feature's sub-span
 // rather than the whole table.
 func MineDuring(tbl *tdb.TxTable, cfg Config, feature timegran.Pattern) ([]TemporalRule, error) {
+	return MineDuringContext(context.Background(), tbl, cfg, feature)
+}
+
+// MineDuringContext is MineDuring under a context: both the hold-table
+// build and the rule enumeration observe cancellation.
+func MineDuringContext(ctx context.Context, tbl *tdb.TxTable, cfg Config, feature timegran.Pattern) ([]TemporalRule, error) {
 	cfg, err := cfg.normalise()
 	if err != nil {
 		return nil, err
@@ -26,20 +67,26 @@ func MineDuring(tbl *tdb.TxTable, cfg Config, feature timegran.Pattern) ([]Tempo
 	if feature == nil {
 		return nil, fmt.Errorf("core: MineDuring needs a temporal feature")
 	}
-	h, err := BuildHoldTable(tbl, cfg)
+	h, err := BuildHoldTableContext(ctx, tbl, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return MineDuringFromTable(h, feature)
+	return MineDuringFromTableContext(ctx, h, feature)
 }
 
 // MineDuringFromTable is MineDuring over a prebuilt HoldTable.
 func MineDuringFromTable(h *HoldTable, feature timegran.Pattern) ([]TemporalRule, error) {
+	return MineDuringFromTableContext(context.Background(), h, feature)
+}
+
+// MineDuringFromTableContext is MineDuringFromTable under a context;
+// cancellation is sampled every few hundred rule candidates.
+func MineDuringFromTableContext(ctx context.Context, h *HoldTable, feature timegran.Pattern) ([]TemporalRule, error) {
 	if feature == nil {
 		return nil, fmt.Errorf("core: MineDuring needs a temporal feature")
 	}
 	if tr := h.Cfg.tracer(); tr.Enabled() {
-		tr.StartTask("task:during")
+		tr.StartTask(obs.TaskSpan(obs.TaskDuring))
 		defer tr.EndTask()
 	}
 	// Materialise the feature over the span once.
@@ -57,10 +104,10 @@ func MineDuringFromTable(h *HoldTable, feature timegran.Pattern) ([]TemporalRule
 	minHold := ceilCount(h.Cfg.MinFreq, nFeature)
 
 	var out []TemporalRule
-	h.EachRuleCandidate(func(rc RuleCandidate) bool {
+	err := ruleCandidateLoop(ctx, h, func(rc RuleCandidate) {
 		hold, ok := h.Holds(rc)
 		if !ok {
-			return true
+			return
 		}
 		nHold := 0
 		for gi, in := range inFeature {
@@ -69,11 +116,11 @@ func MineDuringFromTable(h *HoldTable, feature timegran.Pattern) ([]TemporalRule
 			}
 		}
 		if nHold < minHold {
-			return true
+			return
 		}
 		rule, ok := h.AggStats(rc, func(gi int) bool { return inFeature[gi] })
 		if !ok {
-			return true
+			return
 		}
 		out = append(out, TemporalRule{
 			Rule:            rule,
@@ -83,8 +130,10 @@ func MineDuringFromTable(h *HoldTable, feature timegran.Pattern) ([]TemporalRule
 			HoldGranules:    nHold,
 			FeatureGranules: nFeature,
 		})
-		return true
 	})
+	if err != nil {
+		return nil, err
+	}
 	SortTemporalRules(out)
 	h.Cfg.tracer().Counter(obs.MetricRulesEmitted, int64(len(out)))
 	return out, nil
@@ -112,7 +161,14 @@ func MineTraditional(tbl *tdb.TxTable, minSupport, minConfidence float64, maxK i
 // backend, worker count and tracer; the CLI front ends thread their
 // -backend and -workers flags (and any telemetry sink) through here.
 func MineTraditionalWith(tbl *tdb.TxTable, minSupport, minConfidence float64, maxK int, backend apriori.Backend, workers int, tracer obs.Tracer) ([]apriori.Rule, error) {
-	_, rules, err := apriori.MineRules(
+	return MineTraditionalContext(context.Background(), tbl, minSupport, minConfidence, maxK, backend, workers, tracer)
+}
+
+// MineTraditionalContext is MineTraditionalWith under a context: the
+// level-wise passes observe cancellation between passes.
+func MineTraditionalContext(ctx context.Context, tbl *tdb.TxTable, minSupport, minConfidence float64, maxK int, backend apriori.Backend, workers int, tracer obs.Tracer) ([]apriori.Rule, error) {
+	_, rules, err := apriori.MineRulesContext(
+		ctx,
 		tbl.All(),
 		apriori.Config{MinSupport: minSupport, MaxK: maxK, Backend: backend, Workers: workers, Tracer: tracer},
 		apriori.RuleConfig{MinConfidence: minConfidence},

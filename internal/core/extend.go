@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/tarm-project/tarm/internal/apriori"
@@ -29,6 +30,15 @@ import (
 // returns an error if the table's span no longer starts where it used
 // to, or if nothing new arrived.
 func (h *HoldTable) Extend(tbl *tdb.TxTable) (*HoldTable, error) {
+	return h.ExtendContext(context.Background(), tbl)
+}
+
+// ExtendContext is Extend under a context; cancellation is observed
+// between levels and between granule scans, never per transaction.
+func (h *HoldTable) ExtendContext(ctx context.Context, tbl *tdb.TxTable) (*HoldTable, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	span, ok := tbl.Span(h.Cfg.Granularity)
 	if !ok {
 		return nil, fmt.Errorf("core: Extend on an empty table")
@@ -67,6 +77,9 @@ func (h *HoldTable) Extend(tbl *tdb.TxTable) (*HoldTable, error) {
 	// old region is never touched).
 	c1 := make(map[itemset.Item][]int32)
 	for g := newSpan.Lo; g <= newSpan.Hi; g++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gi := int(g - span.Lo)
 		if !nh.Active[gi] {
 			continue
@@ -120,6 +133,9 @@ func (h *HoldTable) Extend(tbl *tdb.TxTable) (*HoldTable, error) {
 			want[s[0]] = c1[s[0]]
 		}
 		for g := h.Span.Lo; g <= h.Span.Hi; g++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			gi := int(g - span.Lo)
 			if !nh.Active[gi] {
 				continue
@@ -146,6 +162,9 @@ func (h *HoldTable) Extend(tbl *tdb.TxTable) (*HoldTable, error) {
 	// over the whole span.
 	prev := l1
 	for k := 2; len(prev) > 1 && (nh.Cfg.MaxK == 0 || k <= nh.Cfg.MaxK); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cands, _, _ := generateFromSets(prev)
 		if len(cands) == 0 {
 			break
@@ -161,7 +180,7 @@ func (h *HoldTable) Extend(tbl *tdb.TxTable) (*HoldTable, error) {
 		}
 		merged := make(map[string][]int32, len(cands))
 		if len(carried) > 0 {
-			newCounts, err := countRange(tbl, nh, carried, k, newSpan)
+			newCounts, err := countRange(ctx, tbl, nh, carried, k, newSpan)
 			if err != nil {
 				return nil, err
 			}
@@ -178,7 +197,7 @@ func (h *HoldTable) Extend(tbl *tdb.TxTable) (*HoldTable, error) {
 			// old build would have generated and retained it. Count
 			// fresh candidates on the new granules only, and recount
 			// history just for the few that cross the threshold there.
-			newCounts, err := countRange(tbl, nh, fresh, k, newSpan)
+			newCounts, err := countRange(ctx, tbl, nh, fresh, k, newSpan)
 			if err != nil {
 				return nil, err
 			}
@@ -191,7 +210,7 @@ func (h *HoldTable) Extend(tbl *tdb.TxTable) (*HoldTable, error) {
 				}
 			}
 			if len(risers) > 0 {
-				histCounts, err := countRange(tbl, nh, risers, k, h.Span)
+				histCounts, err := countRange(ctx, tbl, nh, risers, k, h.Span)
 				if err != nil {
 					return nil, err
 				}
@@ -217,8 +236,9 @@ func (h *HoldTable) Extend(tbl *tdb.TxTable) (*HoldTable, error) {
 }
 
 // countRange counts candidates per granule, restricted to granules in
-// r. Output vectors span the whole (new) table.
-func countRange(tbl *tdb.TxTable, nh *HoldTable, cands []itemset.Set, k int, r timegran.Interval) ([][]int32, error) {
+// r. Output vectors span the whole (new) table. The context is checked
+// once per granule scan.
+func countRange(ctx context.Context, tbl *tdb.TxTable, nh *HoldTable, cands []itemset.Set, k int, r timegran.Interval) ([][]int32, error) {
 	out := make([][]int32, len(cands))
 	for i := range out {
 		out[i] = make([]int32, nh.NGranules())
@@ -228,6 +248,9 @@ func countRange(tbl *tdb.TxTable, nh *HoldTable, cands []itemset.Set, k int, r t
 		return nil, err
 	}
 	for g := r.Lo; g <= r.Hi; g++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gi := int(g - nh.Span.Lo)
 		if gi < 0 || gi >= nh.NGranules() || !nh.Active[gi] {
 			continue

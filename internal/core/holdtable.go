@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -79,6 +80,16 @@ func ceilCount(frac float64, n int) int {
 // a single hash tree that is flushed at granule boundaries (the data is
 // time-ordered, so each granule is a contiguous run).
 func BuildHoldTable(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
+	return BuildHoldTableContext(context.Background(), tbl, cfg)
+}
+
+// BuildHoldTableContext is BuildHoldTable under a context: the build
+// observes cancellation at granule-block and pass boundaries — never
+// per transaction, so the check stays off the counting hot path — and
+// returns ctx.Err() promptly once the context is done. Every counting
+// backend (sequential and parallel hash tree, naive, bitmap) is
+// covered.
+func BuildHoldTableContext(ctx context.Context, tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
 	cfg, err := cfg.normalise()
 	if err != nil {
 		return nil, err
@@ -129,7 +140,10 @@ func BuildHoldTable(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
 		tr.StartPass(1)
 		t0 = time.Now()
 	}
-	c1 := h.countLevel1(tbl, cfg.Workers)
+	c1 := h.countLevel1(ctx, tbl, cfg.Workers)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var l1 []itemset.Set
 	var l1Occurrences int64
 	for x, v := range c1 {
@@ -161,6 +175,9 @@ func BuildHoldTable(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
 
 	prev := l1
 	for k := 2; len(prev) > 1 && (cfg.MaxK == 0 || k <= cfg.MaxK); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if trace {
 			tr.StartPass(k)
 			t0 = time.Now()
@@ -179,17 +196,22 @@ func BuildHoldTable(tbl *tdb.TxTable, cfg Config) (*HoldTable, error) {
 		switch {
 		case backend == apriori.BackendBitmap:
 			if bm == nil {
-				bm = h.buildGranuleBitmap(tbl, l1)
+				bm = h.buildGranuleBitmap(ctx, tbl, l1)
 			}
-			perGranule = bm.count(h, cands, cfg.Workers)
+			perGranule = bm.count(ctx, h, cands, cfg.Workers)
 		case backend == apriori.BackendNaive:
-			perGranule = h.countPerGranuleNaive(tbl, cands, cfg.Workers)
+			perGranule = h.countPerGranuleNaive(ctx, tbl, cands, cfg.Workers)
 		case cfg.Workers > 1:
-			perGranule, err = h.countPerGranuleParallel(tbl, cands, k, cfg.Workers)
+			perGranule, err = h.countPerGranuleParallel(ctx, tbl, cands, k, cfg.Workers)
 		default:
-			perGranule, err = h.countPerGranule(tbl, cands, k)
+			perGranule, err = h.countPerGranule(ctx, tbl, cands, k)
 		}
 		if err != nil {
+			return nil, err
+		}
+		// A cancelled scan leaves partial counts; discard them rather
+		// than admitting an undercounted level.
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		var level []itemset.Set
@@ -231,22 +253,40 @@ func (h *HoldTable) frequentSomewhere(v []int32) bool {
 // active granule to fn with the granule offset. The scan is bounded to
 // the span's row range, so a table holding data outside the span (a
 // sub-span build) is not walked end to end.
-func (h *HoldTable) eachActiveTx(tbl *tdb.TxTable, fn func(gi int, tx itemset.Set)) {
-	h.eachActiveTxRange(tbl, 0, len(h.Active), fn)
+func (h *HoldTable) eachActiveTx(ctx context.Context, tbl *tdb.TxTable, fn func(gi int, tx itemset.Set)) {
+	h.eachActiveTxRange(ctx, tbl, 0, len(h.Active), fn)
 }
 
 // eachActiveTxRange is eachActiveTx restricted to granule offsets
 // [lo, hi): the shard primitive of the parallel build. Each shard's
 // rows are located by binary search, so shards cost proportionally to
 // their own data.
-func (h *HoldTable) eachActiveTxRange(tbl *tdb.TxTable, lo, hi int, fn func(gi int, tx itemset.Set)) {
+//
+// Cancellation is sampled at granule boundaries only — a granule is
+// the natural block unit of every counting loop, and a per-transaction
+// check would cost on the hot path. A cancelled scan simply stops; the
+// caller is responsible for checking ctx.Err() before using the
+// (partial) counts.
+func (h *HoldTable) eachActiveTxRange(ctx context.Context, tbl *tdb.TxTable, lo, hi int, fn func(gi int, tx itemset.Set)) {
 	if lo >= hi {
 		return
 	}
+	done := ctx.Done()
+	last := -1
 	iv := timegran.Interval{Lo: h.Span.Lo + int64(lo), Hi: h.Span.Lo + int64(hi) - 1}
 	tbl.EachInRange(h.Cfg.Granularity, iv, func(tx tdb.Tx) bool {
 		g := timegran.GranuleOf(tx.At, h.Cfg.Granularity)
 		gi := int(g - h.Span.Lo)
+		if gi != last {
+			last = gi
+			if done != nil {
+				select {
+				case <-done:
+					return false
+				default:
+				}
+			}
+		}
 		if gi >= lo && gi < hi && h.Active[gi] {
 			fn(gi, tx.Items)
 		}
@@ -280,12 +320,12 @@ func granuleBlocks(n, workers int) [][2]int {
 // contiguous granule blocks counted concurrently; blocks own disjoint
 // granule columns, so the merged vectors are identical to a sequential
 // scan.
-func (h *HoldTable) countLevel1(tbl *tdb.TxTable, workers int) map[itemset.Item][]int32 {
+func (h *HoldTable) countLevel1(ctx context.Context, tbl *tdb.TxTable, workers int) map[itemset.Item][]int32 {
 	n := h.NGranules()
 	blocks := granuleBlocks(n, workers)
 	if len(blocks) == 1 {
 		c1 := make(map[itemset.Item][]int32)
-		h.eachActiveTx(tbl, func(gi int, tx itemset.Set) {
+		h.eachActiveTx(ctx, tbl, func(gi int, tx itemset.Set) {
 			for _, x := range tx {
 				v := c1[x]
 				if v == nil {
@@ -304,7 +344,7 @@ func (h *HoldTable) countLevel1(tbl *tdb.TxTable, workers int) map[itemset.Item]
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			local := make(map[itemset.Item][]int32)
-			h.eachActiveTxRange(tbl, lo, hi, func(gi int, tx itemset.Set) {
+			h.eachActiveTxRange(ctx, tbl, lo, hi, func(gi int, tx itemset.Set) {
 				for _, x := range tx {
 					v := local[x]
 					if v == nil {
@@ -336,7 +376,7 @@ func (h *HoldTable) countLevel1(tbl *tdb.TxTable, workers int) map[itemset.Item]
 // countPerGranule counts every candidate in every active granule in a
 // single scan. The transactions arrive time-ordered, so the hash tree
 // is flushed into the per-granule columns whenever the granule changes.
-func (h *HoldTable) countPerGranule(tbl *tdb.TxTable, cands []itemset.Set, k int) ([][]int32, error) {
+func (h *HoldTable) countPerGranule(ctx context.Context, tbl *tdb.TxTable, cands []itemset.Set, k int) ([][]int32, error) {
 	out := make([][]int32, len(cands))
 	for i := range out {
 		out[i] = make([]int32, h.NGranules())
@@ -357,7 +397,7 @@ func (h *HoldTable) countPerGranule(tbl *tdb.TxTable, cands []itemset.Set, k int
 		}
 		tree.Reset()
 	}
-	h.eachActiveTx(tbl, func(gi int, tx itemset.Set) {
+	h.eachActiveTx(ctx, tbl, func(gi int, tx itemset.Set) {
 		if gi != current {
 			flush()
 			current = gi
@@ -385,7 +425,7 @@ type granuleBitmap struct {
 // given by the prefix sums of its transaction counts; only items of
 // the granule-frequent 1-itemsets are indexed, since no other item can
 // appear in a candidate.
-func (h *HoldTable) buildGranuleBitmap(tbl *tdb.TxTable, l1 []itemset.Set) *granuleBitmap {
+func (h *HoldTable) buildGranuleBitmap(ctx context.Context, tbl *tdb.TxTable, l1 []itemset.Set) *granuleBitmap {
 	n := h.NGranules()
 	g := &granuleBitmap{rowLo: make([]int, n), rowHi: make([]int, n)}
 	rows := 0
@@ -403,7 +443,7 @@ func (h *HoldTable) buildGranuleBitmap(tbl *tdb.TxTable, l1 []itemset.Set) *gran
 	src := apriori.FuncSource{
 		N: rows,
 		Scan: func(fn func(tx itemset.Set)) {
-			h.eachActiveTx(tbl, func(gi int, tx itemset.Set) { fn(tx) })
+			h.eachActiveTx(ctx, tbl, func(gi int, tx itemset.Set) { fn(tx) })
 		},
 	}
 	g.ix = apriori.NewBitmapIndex(src, keep)
@@ -415,20 +455,34 @@ func (h *HoldTable) buildGranuleBitmap(tbl *tdb.TxTable, l1 []itemset.Set) *gran
 // (keeping the prefix-intersection reuse inside each chunk); workers
 // write disjoint rows of the output, so any worker count produces the
 // same matrix.
-func (g *granuleBitmap) count(h *HoldTable, cands []itemset.Set, workers int) [][]int32 {
+func (g *granuleBitmap) count(ctx context.Context, h *HoldTable, cands []itemset.Set, workers int) [][]int32 {
 	out := make([][]int32, len(cands))
 	for i := range out {
 		out[i] = make([]int32, h.NGranules())
 	}
+	// Cancellation is sampled per candidate block, not per candidate:
+	// the block is large enough to keep the check off the intersection
+	// hot path yet small enough to stop a big level promptly. Blocking
+	// also preserves the prefix-intersection reuse within each block.
+	const cancelBlock = 512
 	countChunk := func(lo, hi int) {
-		g.ix.EachIntersection(cands[lo:hi], func(i int, words []uint64) {
-			v := out[lo+i]
-			for gi := range v {
-				if c := apriori.PopcountRange(words, g.rowLo[gi], g.rowHi[gi]); c != 0 {
-					v[gi] = int32(c)
-				}
+		for b := lo; b < hi; b += cancelBlock {
+			if ctx.Err() != nil {
+				return
 			}
-		})
+			e := b + cancelBlock
+			if e > hi {
+				e = hi
+			}
+			g.ix.EachIntersection(cands[b:e], func(i int, words []uint64) {
+				v := out[b+i]
+				for gi := range v {
+					if c := apriori.PopcountRange(words, g.rowLo[gi], g.rowHi[gi]); c != 0 {
+						v[gi] = int32(c)
+					}
+				}
+			})
+		}
 	}
 	if workers > len(cands) {
 		workers = len(cands)
@@ -460,13 +514,13 @@ func (g *granuleBitmap) count(h *HoldTable, cands []itemset.Set, workers int) []
 // workers > 1 shards the span into contiguous granule blocks; blocks
 // write disjoint columns of the output, so any worker count produces
 // the same matrix.
-func (h *HoldTable) countPerGranuleNaive(tbl *tdb.TxTable, cands []itemset.Set, workers int) [][]int32 {
+func (h *HoldTable) countPerGranuleNaive(ctx context.Context, tbl *tdb.TxTable, cands []itemset.Set, workers int) [][]int32 {
 	out := make([][]int32, len(cands))
 	for i := range out {
 		out[i] = make([]int32, h.NGranules())
 	}
 	countBlock := func(lo, hi int) {
-		h.eachActiveTxRange(tbl, lo, hi, func(gi int, tx itemset.Set) {
+		h.eachActiveTxRange(ctx, tbl, lo, hi, func(gi int, tx itemset.Set) {
 			for i, c := range cands {
 				if tx.ContainsAll(c) {
 					out[i][gi]++
@@ -496,7 +550,7 @@ func (h *HoldTable) countPerGranuleNaive(tbl *tdb.TxTable, cands []itemset.Set, 
 // goroutine. Granules are independent partitions of the data, so the
 // result is bit-identical to the sequential pass; workers write
 // disjoint columns of the output.
-func (h *HoldTable) countPerGranuleParallel(tbl *tdb.TxTable, cands []itemset.Set, k, workers int) ([][]int32, error) {
+func (h *HoldTable) countPerGranuleParallel(ctx context.Context, tbl *tdb.TxTable, cands []itemset.Set, k, workers int) ([][]int32, error) {
 	n := h.NGranules()
 	if workers > n {
 		workers = n
@@ -526,6 +580,9 @@ func (h *HoldTable) countPerGranuleParallel(tbl *tdb.TxTable, cands []itemset.Se
 				return
 			}
 			for gi := lo; gi < hi; gi++ {
+				if ctx.Err() != nil {
+					return
+				}
 				if !h.Active[gi] {
 					continue
 				}

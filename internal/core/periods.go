@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -40,29 +41,40 @@ type PeriodRule struct {
 // which it holds in at least MinFreq of the active granules, with both
 // endpoints holding.
 func MineValidPeriods(tbl *tdb.TxTable, cfg Config, pcfg PeriodConfig) ([]PeriodRule, error) {
-	h, err := BuildHoldTable(tbl, cfg)
+	return MineValidPeriodsContext(context.Background(), tbl, cfg, pcfg)
+}
+
+// MineValidPeriodsContext is MineValidPeriods under a context.
+func MineValidPeriodsContext(ctx context.Context, tbl *tdb.TxTable, cfg Config, pcfg PeriodConfig) ([]PeriodRule, error) {
+	h, err := BuildHoldTableContext(ctx, tbl, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return MineValidPeriodsFromTable(h, pcfg)
+	return MineValidPeriodsFromTableContext(ctx, h, pcfg)
 }
 
 // MineValidPeriodsFromTable is MineValidPeriods over a prebuilt
 // HoldTable, letting callers share the counting pass across tasks.
 func MineValidPeriodsFromTable(h *HoldTable, pcfg PeriodConfig) ([]PeriodRule, error) {
+	return MineValidPeriodsFromTableContext(context.Background(), h, pcfg)
+}
+
+// MineValidPeriodsFromTableContext is MineValidPeriodsFromTable under
+// a context; cancellation is sampled every few hundred candidates.
+func MineValidPeriodsFromTableContext(ctx context.Context, h *HoldTable, pcfg PeriodConfig) ([]PeriodRule, error) {
 	pcfg, err := pcfg.normalise()
 	if err != nil {
 		return nil, err
 	}
 	if tr := h.Cfg.tracer(); tr.Enabled() {
-		tr.StartTask("task:periods")
+		tr.StartTask(obs.TaskSpan(obs.TaskPeriods))
 		defer tr.EndTask()
 	}
 	var out []PeriodRule
-	h.EachRuleCandidate(func(rc RuleCandidate) bool {
+	err = ruleCandidateLoop(ctx, h, func(rc RuleCandidate) {
 		hold, ok := h.Holds(rc)
 		if !ok {
-			return true
+			return
 		}
 		for _, iv := range maximalDenseIntervals(hold, h.Active, h.Cfg.MinFreq, pcfg.MinLen) {
 			abs := timegran.Interval{Lo: h.Span.Lo + int64(iv.Lo), Hi: h.Span.Lo + int64(iv.Hi)}
@@ -99,8 +111,10 @@ func MineValidPeriodsFromTable(h *HoldTable, pcfg PeriodConfig) ([]PeriodRule, e
 				Interval: abs,
 			})
 		}
-		return true
 	})
+	if err != nil {
+		return nil, err
+	}
 	sortPeriodRules(out)
 	h.Cfg.tracer().Counter(obs.MetricRulesEmitted, int64(len(out)))
 	return out, nil

@@ -78,6 +78,28 @@ type Tracer interface {
 	Gauge(name string, v float64)
 }
 
+// The task vocabulary shared by the planner, the task drivers and the
+// EXPLAIN renderer: one short key per mining task, used to derive span
+// names ("task:periods"), plan operator names ("mine:periods") and
+// metric labels, so every layer reports the same work under the same
+// word.
+const (
+	TaskTraditional = "traditional"
+	TaskDuring      = "during"
+	TaskPeriods     = "periods"
+	TaskCycles      = "cycles"
+	TaskCalendars   = "calendars"
+	TaskHistory     = "history"
+)
+
+// TaskSpan names the tracer span of one mining task driver, e.g.
+// TaskSpan(TaskPeriods) == "task:periods".
+func TaskSpan(task string) string { return "task:" + task }
+
+// OpSpan names the tracer span of one plan operator, e.g.
+// OpSpan("mine:periods") == "op:mine:periods".
+func OpSpan(op string) string { return "op:" + op }
+
 // Metric names shared by the miners, the collectors and the registry.
 const (
 	MetricRows             = "rows_scanned"      // transactions scanned (counter)
@@ -111,6 +133,34 @@ func (NopTracer) StartPass(int)         {}
 func (NopTracer) EndPass(PassStats)     {}
 func (NopTracer) Counter(string, int64) {}
 func (NopTracer) Gauge(string, float64) {}
+
+// SpanObserver is an optional Tracer extension: tracers implementing
+// it receive completed span durations measured by the caller (the plan
+// executor times each operator itself), so multi-session sinks like
+// the metrics registry can record per-span timings without keeping a
+// span stack of their own.
+type SpanObserver interface {
+	ObserveSpan(name string, d time.Duration)
+}
+
+// ObserveSpan forwards a completed span to every tracer in t (or the
+// single tracer) that implements SpanObserver. Nil and nop tracers are
+// ignored.
+func ObserveSpan(t Tracer, name string, d time.Duration) {
+	switch v := t.(type) {
+	case nil:
+	case multiTracer:
+		for _, m := range v {
+			if o, ok := m.(SpanObserver); ok {
+				o.ObserveSpan(name, d)
+			}
+		}
+	default:
+		if o, ok := v.(SpanObserver); ok {
+			o.ObserveSpan(name, d)
+		}
+	}
+}
 
 // OrNop maps nil to the shared no-op tracer so miners can call
 // unconditionally.

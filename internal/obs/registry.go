@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonic atomic counter.
@@ -299,6 +300,13 @@ func (t *RegistryTracer) StartTask(name string) {
 }
 
 func (t *RegistryTracer) EndTask() {}
+
+// ObserveSpan records a caller-timed span (a plan operator) as a named
+// duration histogram, e.g. span "op:mine:periods" under prefix "tarm"
+// becomes tarm_span_seconds_op:mine:periods on /metrics.
+func (t *RegistryTracer) ObserveSpan(name string, d time.Duration) {
+	t.R.Histogram(t.name("span_seconds_" + name)).Observe(d.Seconds())
+}
 
 func (t *RegistryTracer) StartPass(int) {}
 

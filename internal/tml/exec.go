@@ -1,6 +1,7 @@
 package tml
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"github.com/tarm-project/tarm/internal/itemset"
 	"github.com/tarm-project/tarm/internal/minisql"
 	"github.com/tarm-project/tarm/internal/obs"
+	"github.com/tarm-project/tarm/internal/plan"
 	"github.com/tarm-project/tarm/internal/prune"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/timegran"
@@ -18,6 +20,10 @@ import (
 // Executor runs MINE statements against a database. Results are
 // rendered as minisql.Result tables so the IQMS front end treats query
 // and mining output uniformly.
+//
+// A statement executes in two steps: buildPlan compiles it into an
+// operator chain (internal/plan), and plan.Execute runs the chain
+// under the caller's context. EXPLAIN renders the same plan object.
 type Executor struct {
 	db *tdb.DB
 
@@ -53,15 +59,30 @@ func NewExecutor(db *tdb.DB) *Executor {
 
 // Exec parses and runs one TML statement.
 func (e *Executor) Exec(input string) (*minisql.Result, error) {
+	return e.ExecContext(context.Background(), input)
+}
+
+// ExecContext parses and runs one TML statement under a context.
+func (e *Executor) ExecContext(ctx context.Context, input string) (*minisql.Result, error) {
 	stmt, err := Parse(input)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecStmt(stmt)
+	return e.ExecStmtContext(ctx, stmt)
 }
 
 // ExecStmt runs a parsed MINE statement.
 func (e *Executor) ExecStmt(stmt *MineStmt) (*minisql.Result, error) {
+	return e.ExecStmtContext(context.Background(), stmt)
+}
+
+// ExecStmtContext runs a parsed MINE statement under a context. The
+// context reaches every layer — the hold-table build (including the
+// parallel sharded and bitmap paths), cache singleflight waits and the
+// task drivers — which observe it at granule-block and pass
+// boundaries, so a cancelled statement returns ctx.Err() promptly
+// without per-transaction overhead.
+func (e *Executor) ExecStmtContext(ctx context.Context, stmt *MineStmt) (*minisql.Result, error) {
 	tbl, ok := e.db.TxTable(stmt.Table)
 	if !ok {
 		if _, isRel := e.db.Table(stmt.Table); isRel {
@@ -84,29 +105,15 @@ func (e *Executor) ExecStmt(stmt *MineStmt) (*minisql.Result, error) {
 		Workers:       e.Workers,
 		Tracer:        tr,
 	}
-	var res *minisql.Result
-	var err error
-	switch stmt.Target {
-	case TargetRules:
-		if stmt.During == nil {
-			res, err = e.execTraditional(tbl, stmt, cfg)
-		} else {
-			res, err = e.execDuring(tbl, stmt, cfg)
-		}
-	case TargetPeriods:
-		res, err = e.execPeriods(tbl, stmt, cfg)
-	case TargetCycles:
-		res, err = e.execCycles(tbl, stmt, cfg)
-	case TargetCalendars:
-		res, err = e.execCalendars(tbl, stmt, cfg)
-	case TargetHistory:
-		res, err = e.execHistory(tbl, stmt, cfg)
-	default:
-		return nil, fmt.Errorf("tml: unknown target %v", stmt.Target)
-	}
+	root, err := e.buildPlan(tbl, stmt, cfg)
 	if err != nil {
 		return nil, err
 	}
+	out, _, err := plan.Execute(ctx, root, tr)
+	if err != nil {
+		return nil, err
+	}
+	res := out.(*minisql.Result)
 	st := collect.Stats()
 	st.Statement = stmt.String()
 	e.mu.Lock()
@@ -162,41 +169,22 @@ func (e *Executor) parseRuleSpec(spec string) (ante, cons itemset.Set, err error
 	return ante, cons, nil
 }
 
-func (e *Executor) execHistory(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
-	ante, cons, err := e.parseRuleSpec(stmt.RuleSpec)
-	if err != nil {
-		return nil, err
-	}
-	// Count exactly as deep as the rule needs; a cached table built
-	// deeper (or unbounded) still serves this via the coverage check.
-	cfg.MaxK = ante.Union(cons).Len()
-	h, err := e.Cache.Get(tbl, cfg)
-	if err != nil {
-		return nil, err
-	}
-	stats, err := core.RuleHistoryFromTable(h, ante, cons)
-	if err != nil {
-		return nil, err
-	}
-	res := &minisql.Result{Cols: []string{"granule", "transactions", "count", "support", "confidence", "holds"}}
-	for _, s := range stats {
-		res.Rows = append(res.Rows, []tdb.Value{
-			tdb.Str(timegran.FormatGranule(s.Granule, stmt.Granularity)),
-			tdb.Int(int64(s.TxCount)),
-			tdb.Int(int64(s.Count)),
-			tdb.Float(s.Support),
-			tdb.Float(s.Confidence),
-			tdb.Bool(s.Holds),
-		})
-	}
-	return limitRows(res, stmt.Limit), nil
-}
-
 // names renders an itemset through the shared dictionary.
 func (e *Executor) names(s itemset.Set) string { return e.db.Dict().Names(s) }
 
+// limitRows truncates res to the statement's LIMIT. NoLimit passes
+// everything through; LIMIT 0 is a legal contract returning zero rows;
+// any other negative limit (possible only on a hand-built MineStmt —
+// the parser rejects them) clamps to zero rather than panicking on a
+// negative slice bound.
 func limitRows(res *minisql.Result, limit int) *minisql.Result {
-	if limit >= 0 && len(res.Rows) > limit {
+	if limit == NoLimit {
+		return res
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	if len(res.Rows) > limit {
 		res.Rows = res.Rows[:limit]
 	}
 	return res
@@ -225,148 +213,13 @@ func pruneOptions(stmt *MineStmt, n int) (prune.Options, bool) {
 	}, true
 }
 
-func (e *Executor) execTraditional(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
-	rules, err := core.MineTraditionalWith(tbl, stmt.Support, stmt.Confidence, stmt.MaxSize, e.Backend, e.Workers, cfg.Tracer)
-	if err != nil {
-		return nil, err
-	}
-	if opt, ok := pruneOptions(stmt, tbl.Len()); ok {
-		rules, _, err = prune.Filter(rules, opt)
-		if err != nil {
-			return nil, err
-		}
-	}
-	res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence"}}
-	for _, r := range rules {
-		res.Rows = append(res.Rows, ruleCells(e, r))
-	}
-	return limitRows(res, stmt.Limit), nil
-}
-
-func (e *Executor) execDuring(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
-	h, err := e.Cache.Get(tbl, cfg)
-	if err != nil {
-		return nil, err
-	}
-	rules, err := core.MineDuringFromTable(h, stmt.During)
-	if err != nil {
-		return nil, err
-	}
-	// For pruning, the population is the feature's sub-database; each
-	// rule carries its count and support, which reconstruct it.
-	if opt, ok := pruneOptions(stmt, 0); ok {
-		var kept []core.TemporalRule
-		for _, r := range rules {
-			n := 0
-			if r.Rule.Support > 0 {
-				n = int(float64(r.Rule.Count)/r.Rule.Support + 0.5)
-			}
-			o := opt
-			o.N = n
-			o.MinImprovement = 0 // needs the whole set; applied below
-			out, _, err := prune.Filter([]apriori.Rule{r.Rule}, o)
-			if err != nil {
-				return nil, err
-			}
-			if len(out) == 1 {
-				kept = append(kept, r)
-			}
-		}
-		if opt.MinImprovement > 0 {
-			flat := make([]apriori.Rule, len(kept))
-			for i, r := range kept {
-				flat[i] = r.Rule
-			}
-			surv, _, err := prune.Filter(flat, prune.Options{MinImprovement: opt.MinImprovement})
-			if err != nil {
-				return nil, err
-			}
-			keep := make(map[string]bool, len(surv))
-			for _, r := range surv {
-				keep[r.Key()] = true
-			}
-			var out []core.TemporalRule
-			for _, r := range kept {
-				if keep[r.Rule.Key()] {
-					out = append(out, r)
-				}
-			}
-			kept = out
-		}
-		rules = kept
-	}
-	res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence", "frequency", "during"}}
-	for _, r := range rules {
-		row := ruleCells(e, r.Rule)
-		row = append(row, tdb.Float(r.Freq), tdb.Str(stmt.DuringSrc))
-		res.Rows = append(res.Rows, row)
-	}
-	return limitRows(res, stmt.Limit), nil
-}
-
-func (e *Executor) execPeriods(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
-	h, err := e.Cache.Get(tbl, cfg)
-	if err != nil {
-		return nil, err
-	}
-	rules, err := core.MineValidPeriodsFromTable(h, core.PeriodConfig{MinLen: stmt.MinLength})
-	if err != nil {
-		return nil, err
-	}
-	res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence", "from", "to", "frequency"}}
-	for _, r := range rules {
-		row := ruleCells(e, r.Rule)
-		row = append(row,
-			tdb.Str(timegran.FormatGranule(r.Interval.Lo, r.Granularity)),
-			tdb.Str(timegran.FormatGranule(r.Interval.Hi, r.Granularity)),
-			tdb.Float(r.Freq),
-		)
-		res.Rows = append(res.Rows, row)
-	}
-	return limitRows(res, stmt.Limit), nil
-}
-
-func (e *Executor) execCycles(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
-	ccfg := core.CycleConfig{MaxLen: stmt.MaxLength, MinReps: stmt.MinReps}
-	h, err := e.Cache.Get(tbl, cfg)
-	if err != nil {
-		return nil, err
-	}
-	rules, err := core.MineCyclesFromTable(h, ccfg)
-	if err != nil {
-		return nil, err
-	}
-	res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence", "cycle", "frequency"}}
-	for _, r := range rules {
-		row := ruleCells(e, r.Rule)
-		row = append(row, tdb.Str(r.Cycle.String()), tdb.Float(r.Freq))
-		res.Rows = append(res.Rows, row)
-	}
-	return limitRows(res, stmt.Limit), nil
-}
-
-func (e *Executor) execCalendars(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*minisql.Result, error) {
-	ccfg := core.CycleConfig{MinReps: stmt.MinReps}
-	h, err := e.Cache.Get(tbl, cfg)
-	if err != nil {
-		return nil, err
-	}
-	rules, err := core.MineCalendarPeriodicitiesFromTable(h, ccfg)
-	if err != nil {
-		return nil, err
-	}
-	res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence", "calendar", "frequency"}}
-	for _, r := range rules {
-		row := ruleCells(e, r.Rule)
-		row = append(row, tdb.Str(r.Feature.String()), tdb.Float(r.Freq))
-		res.Rows = append(res.Rows, row)
-	}
-	return limitRows(res, stmt.Limit), nil
-}
-
 // Explain describes what a MINE statement would do without running it:
-// the canonical statement, the data span it would scan and the
-// effective thresholds. The IQMS session surfaces it as EXPLAIN MINE.
+// the canonical statement, the data span it would scan, the effective
+// thresholds, and the operator plan the statement compiles to — built
+// by the same buildPlan that ExecStmtContext executes, so the "plan"
+// rows are the execution, including whether the hold table would come
+// from cache ("cached-hold", hit or rethreshold) or a cold build
+// ("build-hold"). The IQMS session surfaces it as EXPLAIN MINE.
 func (e *Executor) Explain(stmt *MineStmt) (*minisql.Result, error) {
 	tbl, ok := e.db.TxTable(stmt.Table)
 	if !ok {
@@ -377,7 +230,7 @@ func (e *Executor) Explain(stmt *MineStmt) (*minisql.Result, error) {
 		res.Rows = append(res.Rows, []tdb.Value{tdb.Str(k), tdb.Str(v)})
 	}
 	add("statement", stmt.String())
-	add("task", taskName(stmt))
+	add("task", taskTitle(stmt))
 	add("table", stmt.Table)
 	add("transactions", fmt.Sprint(tbl.Len()))
 	add("granularity", stmt.Granularity.String())
@@ -401,6 +254,22 @@ func (e *Executor) Explain(stmt *MineStmt) (*minisql.Result, error) {
 	add("min support (per granule)", fmt.Sprintf("%g", stmt.Support))
 	add("min confidence", fmt.Sprintf("%g", stmt.Confidence))
 	add("min frequency", fmt.Sprintf("%g", stmt.defaultFrequency()))
+	cfg := core.Config{
+		Granularity:   stmt.Granularity,
+		MinSupport:    stmt.Support,
+		MinConfidence: stmt.Confidence,
+		MinFreq:       stmt.defaultFrequency(),
+		MaxK:          stmt.MaxSize,
+		Backend:       e.Backend,
+		Workers:       e.Workers,
+	}
+	if root, err := e.buildPlan(tbl, stmt, cfg); err != nil {
+		add("plan", "(unavailable: "+err.Error()+")")
+	} else {
+		for _, line := range plan.Explain(root) {
+			add("plan", line)
+		}
+	}
 	// When a statement has already run over this table, append what that
 	// run actually did: per-pass counts, resolved backend, rules, time.
 	if st := e.Last(stmt.Table); st != nil {
@@ -413,30 +282,17 @@ func (e *Executor) Explain(stmt *MineStmt) (*minisql.Result, error) {
 				fmt.Sprintf("%d candidates (%d pruned, %d counted) → %d frequent",
 					l.Generated, l.Pruned, l.Counted, l.Frequent))
 		}
+		for _, t := range st.Tasks {
+			if strings.HasPrefix(t.Name, "op:") {
+				add("observed: "+t.Name, fmt.Sprintf("%.1fms", float64(t.WallNS)/1e6))
+			}
+		}
 		if n, ok := st.Counters[obs.MetricRulesEmitted]; ok {
 			add("observed: rules emitted", fmt.Sprint(n))
 		}
 		add("observed: wall time", fmt.Sprintf("%.1fms", float64(st.WallNS)/1e6))
 	}
 	return res, nil
-}
-
-func taskName(stmt *MineStmt) string {
-	switch stmt.Target {
-	case TargetRules:
-		if stmt.During == nil {
-			return "traditional association rules (baseline)"
-		}
-		return "Task III: rules during a temporal feature"
-	case TargetPeriods:
-		return "Task I: valid period discovery"
-	case TargetCycles:
-		return "Task II: cyclic periodicity discovery"
-	case TargetCalendars:
-		return "Task II: calendar periodicity discovery"
-	default:
-		return stmt.Target.String()
-	}
 }
 
 // Session is the IQMS front end: one entry point that routes MINE
@@ -457,6 +313,13 @@ func NewSession(db *tdb.DB) *Session {
 // Exec runs one statement of either language. EXPLAIN MINE ... shows
 // the mining plan without executing it.
 func (s *Session) Exec(input string) (*minisql.Result, error) {
+	return s.ExecContext(context.Background(), input)
+}
+
+// ExecContext is Exec under a context. MINE statements observe
+// cancellation throughout; SQL statements and EXPLAIN are effectively
+// instantaneous and run to completion.
+func (s *Session) ExecContext(ctx context.Context, input string) (*minisql.Result, error) {
 	if rest, ok := stripExplain(input); ok {
 		stmt, err := Parse(rest)
 		if err != nil {
@@ -465,7 +328,7 @@ func (s *Session) Exec(input string) (*minisql.Result, error) {
 		return s.TML.Explain(stmt)
 	}
 	if IsMineStatement(input) {
-		return s.TML.Exec(input)
+		return s.TML.ExecContext(ctx, input)
 	}
 	return s.SQL.Exec(input)
 }

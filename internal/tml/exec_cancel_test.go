@@ -1,0 +1,279 @@
+package tml
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/tarm-project/tarm/internal/obs"
+)
+
+// cancelTracer fires a context cancel after the build's n-th counting
+// pass, cancelling a statement deterministically mid-build.
+type cancelTracer struct {
+	cancel context.CancelFunc
+	after  int
+	seen   int
+}
+
+func (t *cancelTracer) Enabled() bool         { return true }
+func (t *cancelTracer) StartTask(string)      {}
+func (t *cancelTracer) EndTask()              {}
+func (t *cancelTracer) StartPass(int)         {}
+func (t *cancelTracer) Counter(string, int64) {}
+func (t *cancelTracer) Gauge(string, float64) {}
+func (t *cancelTracer) EndPass(obs.PassStats) {
+	t.seen++
+	if t.seen == t.after {
+		t.cancel()
+	}
+}
+
+// The five MINE statement forms, one per mining task.
+var cancelStmts = map[string]string{
+	"rules":     `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`,
+	"during":    `MINE RULES FROM baskets DURING 'weekday in (sat, sun)' THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`,
+	"periods":   `MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 1.0`,
+	"cycles":    `MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`,
+	"calendars": `MINE CALENDARS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`,
+	"history":   `MINE HISTORY FROM baskets RULE 'bread => milk' THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`,
+}
+
+// TestExecCancelledStatements: an already-cancelled context makes every
+// statement form return context.Canceled without a result.
+func TestExecCancelledStatements(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, stmt := range cancelStmts {
+		res, err := ex.ExecContext(ctx, stmt)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: got a result from a cancelled statement", name)
+		}
+	}
+}
+
+// TestExecCancelMidBuild: a statement cancelled while its hold table is
+// building (after the first counting pass) returns context.Canceled
+// from every task driver.
+func TestExecCancelMidBuild(t *testing.T) {
+	for name, stmt := range cancelStmts {
+		t.Run(name, func(t *testing.T) {
+			db := fixtureDB(t)
+			ex := NewExecutor(db)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ex.Tracer = &cancelTracer{cancel: cancel, after: 1}
+			_, err := ex.ExecContext(ctx, stmt)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestSessionExecContextCancelled: cancellation reaches MINE statements
+// through the session router too.
+func TestSessionExecContextCancelled(t *testing.T) {
+	db := fixtureDB(t)
+	s := NewSession(db)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ExecContext(ctx, cancelStmts["periods"]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// SQL statements are instantaneous and uncancellable by design.
+	if _, err := s.Exec(`SELECT COUNT(*) FROM baskets`); err != nil {
+		t.Fatalf("session SQL after cancelled MINE: %v", err)
+	}
+}
+
+// TestLimitZero: LIMIT 0 parses and returns an empty, well-formed
+// result — the columns survive, the rows don't.
+func TestLimitZero(t *testing.T) {
+	stmt, err := Parse(`MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 LIMIT 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Limit != 0 {
+		t.Fatalf("Limit = %d, want 0", stmt.Limit)
+	}
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	res, err := ex.ExecStmt(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("LIMIT 0 returned %d rows", len(res.Rows))
+	}
+	if len(res.Cols) != 4 {
+		t.Fatalf("LIMIT 0 lost the columns: %v", res.Cols)
+	}
+}
+
+// TestLimitNegativeClamps: a hand-built statement with a negative
+// non-sentinel limit (the parser rejects these, but ExecStmt accepts
+// arbitrary MineStmt values) clamps to zero instead of panicking.
+func TestLimitNegativeClamps(t *testing.T) {
+	stmt, err := Parse(`MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt.Limit = -5
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	res, err := ex.ExecStmt(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("negative limit returned %d rows, want 0", len(res.Rows))
+	}
+}
+
+func TestParseRejectsNegativeLimit(t *testing.T) {
+	if _, err := Parse(`MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 LIMIT -1`); err == nil {
+		t.Fatal("parser accepted a negative LIMIT")
+	}
+}
+
+// planLines extracts the "plan" rows of an EXPLAIN result in order.
+func planLines(t *testing.T, ex *Executor, stmtSrc string) []string {
+	t.Helper()
+	stmt, err := Parse(stmtSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Explain(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, row := range res.Rows {
+		if row[0].AsString() == "plan" {
+			lines = append(lines, row[1].AsString())
+		}
+	}
+	return lines
+}
+
+// TestExplainPlanColdThenCached: on a fresh executor EXPLAIN shows a
+// cold build-hold; after the statement runs once, the same EXPLAIN
+// shows the hold table coming from cache.
+func TestExplainPlanColdThenCached(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	const stmt = `MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 1.0 LIMIT 10`
+
+	cold := planLines(t, ex, stmt)
+	joined := strings.Join(cold, "\n")
+	for _, want := range []string{"limit (n=10)", "render (", "mine:periods", "build-hold (cache=cold", "scan (table=baskets"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("cold plan missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "cached-hold") {
+		t.Errorf("cold plan claims a cache hit:\n%s", joined)
+	}
+
+	if _, err := ex.Exec(stmt); err != nil {
+		t.Fatal(err)
+	}
+	warm := strings.Join(planLines(t, ex, stmt), "\n")
+	if !strings.Contains(warm, "cached-hold (cache=hit") {
+		t.Errorf("warm plan not served from cache:\n%s", warm)
+	}
+	if strings.Contains(warm, "build-hold") {
+		t.Errorf("warm plan still cold:\n%s", warm)
+	}
+}
+
+// TestExplainPlanRethreshold: a statement at higher support than the
+// resident build is served by monotone re-thresholding, and the plan
+// says so.
+func TestExplainPlanRethreshold(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	if _, err := ex.Exec(`MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 1.0`); err != nil {
+		t.Fatal(err)
+	}
+	warm := strings.Join(planLines(t, ex,
+		`MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.6 CONFIDENCE 0.7 FREQUENCY 1.0`), "\n")
+	if !strings.Contains(warm, "cached-hold (cache=rethreshold") {
+		t.Errorf("plan does not show the re-threshold path:\n%s", warm)
+	}
+}
+
+// TestExplainPlanTraditional: traditional rules mine the table
+// directly — no hold operator in the plan.
+func TestExplainPlanTraditional(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	lines := planLines(t, ex, `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`)
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"mine:traditional", "scan (table=baskets"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("plan missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "hold") {
+		t.Errorf("traditional plan should not build a hold table:\n%s", joined)
+	}
+}
+
+// TestExplainPlanDuringPrune: PRUNE adds a prune operator between the
+// mine and render stages.
+func TestExplainPlanDuringPrune(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	lines := planLines(t, ex,
+		`MINE RULES FROM baskets DURING 'weekday in (sat, sun)' THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 PRUNE LIFT 1.1`)
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"mine:during", "prune (", "lift=1.1"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("plan missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestExecMatchesExplainPlan: the op spans observed during execution
+// are exactly the operators the plan printed — EXPLAIN and execution
+// come from one plan object.
+func TestExecMatchesExplainPlan(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	const stmt = `MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 1.0 LIMIT 10`
+	// Capture the plan before running: executing warms the cache, which
+	// would legitimately change the hold operator of a later EXPLAIN.
+	lines := planLines(t, ex, stmt)
+	if _, err := ex.Exec(stmt); err != nil {
+		t.Fatal(err)
+	}
+	st := ex.Last("baskets")
+	if st == nil {
+		t.Fatal("no stats collected")
+	}
+	var ops []string
+	for _, task := range st.Tasks {
+		if name, ok := strings.CutPrefix(task.Name, "op:"); ok {
+			ops = append(ops, name)
+		}
+	}
+	if len(ops) != len(lines) {
+		t.Fatalf("executed %d operators %v but the plan has %d lines:\n%s",
+			len(ops), ops, len(lines), strings.Join(lines, "\n"))
+	}
+	// The plan prints root first; execution runs leaf first.
+	for i, line := range lines {
+		op := ops[len(ops)-1-i]
+		if !strings.Contains(line, op) {
+			t.Errorf("plan line %q does not match executed operator %q", line, op)
+		}
+	}
+}

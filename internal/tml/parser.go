@@ -155,7 +155,7 @@ func (p *parser) parseMine() (*MineStmt, error) {
 	if err := p.expectWord("mine"); err != nil {
 		return nil, err
 	}
-	stmt := &MineStmt{Granularity: timegran.Day, Limit: -1}
+	stmt := &MineStmt{Granularity: timegran.Day, Limit: NoLimit}
 	switch t := p.next(); t.text {
 	case "rules":
 		stmt.Target = TargetRules

@@ -1,0 +1,336 @@
+package tml
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/core"
+	"github.com/tarm-project/tarm/internal/minisql"
+	"github.com/tarm-project/tarm/internal/obs"
+	"github.com/tarm-project/tarm/internal/plan"
+	"github.com/tarm-project/tarm/internal/prune"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// taskKey maps a statement to its obs task vocabulary key — the single
+// name shared by the mining operator ("mine:<key>"), the task tracer
+// span ("task:<key>") and telemetry labels. The empty string means an
+// unknown target.
+func taskKey(stmt *MineStmt) string {
+	switch stmt.Target {
+	case TargetRules:
+		if stmt.During == nil {
+			return obs.TaskTraditional
+		}
+		return obs.TaskDuring
+	case TargetPeriods:
+		return obs.TaskPeriods
+	case TargetCycles:
+		return obs.TaskCycles
+	case TargetCalendars:
+		return obs.TaskCalendars
+	case TargetHistory:
+		return obs.TaskHistory
+	default:
+		return ""
+	}
+}
+
+// taskTitles spells the task keys out for EXPLAIN's "task" row.
+var taskTitles = map[string]string{
+	obs.TaskTraditional: "traditional association rules (baseline)",
+	obs.TaskDuring:      "Task III: rules during a temporal feature",
+	obs.TaskPeriods:     "Task I: valid period discovery",
+	obs.TaskCycles:      "Task II: cyclic periodicity discovery",
+	obs.TaskCalendars:   "Task II: calendar periodicity discovery",
+}
+
+// taskTitle is the human task name of a statement.
+func taskTitle(stmt *MineStmt) string {
+	if t, ok := taskTitles[taskKey(stmt)]; ok {
+		return t
+	}
+	return stmt.Target.String()
+}
+
+// buildPlan compiles a MINE statement into its operator chain:
+//
+//	scan → [cached-hold | build-hold] → mine:<task> → [prune] → render → [limit]
+//
+// The same plan object serves ExecStmtContext (via plan.Execute) and
+// Explain (via plan.Explain), so the rendered tree is the execution by
+// construction. Building a plan runs nothing and is cheap: the only
+// work is a read-only cache probe and the table's span lookup. The
+// traditional task has no hold acquisition (Apriori mines the flat
+// transaction set); HISTORY resolves its rule spec here, so a bad rule
+// fails at plan time.
+func (e *Executor) buildPlan(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) (*plan.Node, error) {
+	key := taskKey(stmt)
+	if key == "" {
+		return nil, fmt.Errorf("tml: unknown target %v", stmt.Target)
+	}
+
+	scan := &plan.Node{
+		Op:  plan.OpScan,
+		Run: func(ctx context.Context, _ any) (any, error) { return tbl, nil },
+	}
+	scan.With("table", stmt.Table).
+		With("transactions", fmt.Sprint(tbl.Len())).
+		With("granularity", stmt.Granularity.String())
+	if span, ok := tbl.Span(stmt.Granularity); ok {
+		scan.With("span", timegran.FormatGranule(span.Lo, stmt.Granularity)+".."+
+			timegran.FormatGranule(span.Hi, stmt.Granularity))
+	}
+
+	var root *plan.Node
+	switch key {
+	case obs.TaskTraditional:
+		mine := &plan.Node{Op: plan.MineOp(key), Input: scan, Run: func(ctx context.Context, in any) (any, error) {
+			return core.MineTraditionalContext(ctx, in.(*tdb.TxTable),
+				stmt.Support, stmt.Confidence, stmt.MaxSize, e.Backend, e.Workers, cfg.Tracer)
+		}}
+		mine.With("support", fmt.Sprintf("%g", stmt.Support)).
+			With("confidence", fmt.Sprintf("%g", stmt.Confidence)).
+			With("backend", e.Backend.String()).
+			With("workers", fmt.Sprint(e.Workers))
+		if stmt.MaxSize > 0 {
+			mine.With("max_size", fmt.Sprint(stmt.MaxSize))
+		}
+		root = mine
+		if opt, ok := pruneOptions(stmt, tbl.Len()); ok {
+			root = pruneDetails(stmt, &plan.Node{Op: plan.OpPrune, Input: root, Run: func(ctx context.Context, in any) (any, error) {
+				rules, _, err := prune.Filter(in.([]apriori.Rule), opt)
+				return rules, err
+			}})
+		}
+		root = e.renderNode(root, "antecedent, consequent, support, confidence", func(in any) *minisql.Result {
+			res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence"}}
+			for _, r := range in.([]apriori.Rule) {
+				res.Rows = append(res.Rows, ruleCells(e, r))
+			}
+			return res
+		})
+
+	case obs.TaskDuring:
+		hold := e.holdNode(tbl, cfg, scan)
+		mine := &plan.Node{Op: plan.MineOp(key), Input: hold, Run: func(ctx context.Context, in any) (any, error) {
+			return core.MineDuringFromTableContext(ctx, in.(*core.HoldTable), stmt.During)
+		}}
+		mine.With("during", stmt.DuringSrc).
+			With("frequency", fmt.Sprintf("%g", stmt.defaultFrequency()))
+		root = mine
+		if opt, ok := pruneOptions(stmt, 0); ok {
+			root = pruneDetails(stmt, &plan.Node{Op: plan.OpPrune, Input: root, Run: func(ctx context.Context, in any) (any, error) {
+				return pruneTemporal(in.([]core.TemporalRule), opt)
+			}})
+		}
+		root = e.renderNode(root, "antecedent, consequent, support, confidence, frequency, during", func(in any) *minisql.Result {
+			res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence", "frequency", "during"}}
+			for _, r := range in.([]core.TemporalRule) {
+				row := ruleCells(e, r.Rule)
+				row = append(row, tdb.Float(r.Freq), tdb.Str(stmt.DuringSrc))
+				res.Rows = append(res.Rows, row)
+			}
+			return res
+		})
+
+	case obs.TaskPeriods:
+		hold := e.holdNode(tbl, cfg, scan)
+		mine := &plan.Node{Op: plan.MineOp(key), Input: hold, Run: func(ctx context.Context, in any) (any, error) {
+			return core.MineValidPeriodsFromTableContext(ctx, in.(*core.HoldTable), core.PeriodConfig{MinLen: stmt.MinLength})
+		}}
+		if stmt.MinLength > 0 {
+			mine.With("min_length", fmt.Sprint(stmt.MinLength))
+		}
+		mine.With("frequency", fmt.Sprintf("%g", stmt.defaultFrequency()))
+		root = e.renderNode(mine, "antecedent, consequent, support, confidence, from, to, frequency", func(in any) *minisql.Result {
+			res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence", "from", "to", "frequency"}}
+			for _, r := range in.([]core.PeriodRule) {
+				row := ruleCells(e, r.Rule)
+				row = append(row,
+					tdb.Str(timegran.FormatGranule(r.Interval.Lo, r.Granularity)),
+					tdb.Str(timegran.FormatGranule(r.Interval.Hi, r.Granularity)),
+					tdb.Float(r.Freq),
+				)
+				res.Rows = append(res.Rows, row)
+			}
+			return res
+		})
+
+	case obs.TaskCycles:
+		hold := e.holdNode(tbl, cfg, scan)
+		ccfg := core.CycleConfig{MaxLen: stmt.MaxLength, MinReps: stmt.MinReps}
+		mine := &plan.Node{Op: plan.MineOp(key), Input: hold, Run: func(ctx context.Context, in any) (any, error) {
+			return core.MineCyclesFromTableContext(ctx, in.(*core.HoldTable), ccfg)
+		}}
+		if stmt.MaxLength > 0 {
+			mine.With("max_length", fmt.Sprint(stmt.MaxLength))
+		}
+		if stmt.MinReps > 0 {
+			mine.With("min_reps", fmt.Sprint(stmt.MinReps))
+		}
+		mine.With("frequency", fmt.Sprintf("%g", stmt.defaultFrequency()))
+		root = e.renderNode(mine, "antecedent, consequent, support, confidence, cycle, frequency", func(in any) *minisql.Result {
+			res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence", "cycle", "frequency"}}
+			for _, r := range in.([]core.CyclicRule) {
+				row := ruleCells(e, r.Rule)
+				row = append(row, tdb.Str(r.Cycle.String()), tdb.Float(r.Freq))
+				res.Rows = append(res.Rows, row)
+			}
+			return res
+		})
+
+	case obs.TaskCalendars:
+		hold := e.holdNode(tbl, cfg, scan)
+		ccfg := core.CycleConfig{MinReps: stmt.MinReps}
+		mine := &plan.Node{Op: plan.MineOp(key), Input: hold, Run: func(ctx context.Context, in any) (any, error) {
+			return core.MineCalendarPeriodicitiesFromTableContext(ctx, in.(*core.HoldTable), ccfg)
+		}}
+		if stmt.MinReps > 0 {
+			mine.With("min_reps", fmt.Sprint(stmt.MinReps))
+		}
+		mine.With("frequency", fmt.Sprintf("%g", stmt.defaultFrequency()))
+		root = e.renderNode(mine, "antecedent, consequent, support, confidence, calendar, frequency", func(in any) *minisql.Result {
+			res := &minisql.Result{Cols: []string{"antecedent", "consequent", "support", "confidence", "calendar", "frequency"}}
+			for _, r := range in.([]core.CalendarRule) {
+				row := ruleCells(e, r.Rule)
+				row = append(row, tdb.Str(r.Feature.String()), tdb.Float(r.Freq))
+				res.Rows = append(res.Rows, row)
+			}
+			return res
+		})
+
+	case obs.TaskHistory:
+		ante, cons, err := e.parseRuleSpec(stmt.RuleSpec)
+		if err != nil {
+			return nil, err
+		}
+		// Count exactly as deep as the rule needs; a cached table built
+		// deeper (or unbounded) still serves this via the coverage check.
+		cfg.MaxK = ante.Union(cons).Len()
+		hold := e.holdNode(tbl, cfg, scan)
+		mine := &plan.Node{Op: plan.MineOp(key), Input: hold, Run: func(ctx context.Context, in any) (any, error) {
+			return core.RuleHistoryFromTableContext(ctx, in.(*core.HoldTable), ante, cons)
+		}}
+		mine.With("rule", stmt.RuleSpec)
+		root = e.renderNode(mine, "granule, transactions, count, support, confidence, holds", func(in any) *minisql.Result {
+			res := &minisql.Result{Cols: []string{"granule", "transactions", "count", "support", "confidence", "holds"}}
+			for _, s := range in.([]core.GranuleStat) {
+				res.Rows = append(res.Rows, []tdb.Value{
+					tdb.Str(timegran.FormatGranule(s.Granule, stmt.Granularity)),
+					tdb.Int(int64(s.TxCount)),
+					tdb.Int(int64(s.Count)),
+					tdb.Float(s.Support),
+					tdb.Float(s.Confidence),
+					tdb.Bool(s.Holds),
+				})
+			}
+			return res
+		})
+	}
+
+	if stmt.Limit != NoLimit {
+		limit := &plan.Node{Op: plan.OpLimit, Input: root, Run: func(ctx context.Context, in any) (any, error) {
+			return limitRows(in.(*minisql.Result), stmt.Limit), nil
+		}}
+		limit.With("n", fmt.Sprint(stmt.Limit))
+		root = limit
+	}
+	return root, nil
+}
+
+// holdNode builds the hold-acquisition operator: a cache probe decides
+// whether the plan reads "cached-hold" (hit or rethreshold) or
+// "build-hold" (cold build — also the nil-cache path), and the Run
+// closure goes through HoldCache.GetContext either way, so the
+// annotation is advisory while the execution is always coherent with
+// concurrent statements.
+func (e *Executor) holdNode(tbl *tdb.TxTable, cfg core.Config, input *plan.Node) *plan.Node {
+	mode := e.Cache.Probe(tbl, cfg)
+	op := plan.OpCachedHold
+	if mode == "build" {
+		op = plan.OpBuildHold
+		mode = "cold"
+	}
+	n := &plan.Node{Op: op, Input: input, Run: func(ctx context.Context, in any) (any, error) {
+		return e.Cache.GetContext(ctx, in.(*tdb.TxTable), cfg)
+	}}
+	n.With("cache", mode).
+		With("support", fmt.Sprintf("%g", cfg.MinSupport)).
+		With("backend", cfg.Backend.String()).
+		With("workers", fmt.Sprint(cfg.Workers))
+	if cfg.MaxK > 0 {
+		n.With("max_size", fmt.Sprint(cfg.MaxK))
+	}
+	return n
+}
+
+// renderNode wraps a row-building function as the render operator.
+func (e *Executor) renderNode(input *plan.Node, cols string, build func(in any) *minisql.Result) *plan.Node {
+	n := &plan.Node{Op: plan.OpRender, Input: input, Run: func(ctx context.Context, in any) (any, error) {
+		return build(in), nil
+	}}
+	return n.With("cols", cols)
+}
+
+// pruneDetails annotates a prune node with the statement's thresholds.
+func pruneDetails(stmt *MineStmt, n *plan.Node) *plan.Node {
+	if stmt.PruneLift > 0 {
+		n.With("lift", fmt.Sprintf("%g", stmt.PruneLift))
+	}
+	if stmt.PruneImprovement > 0 {
+		n.With("improvement", fmt.Sprintf("%g", stmt.PruneImprovement))
+	}
+	if stmt.PrunePValue > 0 {
+		n.With("pvalue", fmt.Sprintf("%g", stmt.PrunePValue))
+	}
+	return n
+}
+
+// pruneTemporal applies the interestingness filters to Task III rules.
+// The population is the feature's sub-database; each rule carries its
+// count and support, which reconstruct it per rule. Improvement needs
+// the whole rule set, so it runs as a second pass over the survivors.
+func pruneTemporal(rules []core.TemporalRule, opt prune.Options) ([]core.TemporalRule, error) {
+	var kept []core.TemporalRule
+	for _, r := range rules {
+		n := 0
+		if r.Rule.Support > 0 {
+			n = int(float64(r.Rule.Count)/r.Rule.Support + 0.5)
+		}
+		o := opt
+		o.N = n
+		o.MinImprovement = 0 // needs the whole set; applied below
+		out, _, err := prune.Filter([]apriori.Rule{r.Rule}, o)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) == 1 {
+			kept = append(kept, r)
+		}
+	}
+	if opt.MinImprovement > 0 {
+		flat := make([]apriori.Rule, len(kept))
+		for i, r := range kept {
+			flat[i] = r.Rule
+		}
+		surv, _, err := prune.Filter(flat, prune.Options{MinImprovement: opt.MinImprovement})
+		if err != nil {
+			return nil, err
+		}
+		keep := make(map[string]bool, len(surv))
+		for _, r := range surv {
+			keep[r.Key()] = true
+		}
+		var out []core.TemporalRule
+		for _, r := range kept {
+			if keep[r.Rule.Key()] {
+				out = append(out, r)
+			}
+		}
+		kept = out
+	}
+	return kept, nil
+}

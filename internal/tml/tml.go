@@ -57,6 +57,10 @@ const (
 
 var targetNames = [...]string{"RULES", "PERIODS", "CYCLES", "CALENDARS", "HISTORY"}
 
+// NoLimit is the MineStmt.Limit sentinel meaning "no LIMIT clause".
+// LIMIT 0 is distinct and legal: it returns zero rows.
+const NoLimit = -1
+
 // String returns the TML spelling.
 func (t Target) String() string {
 	if t < TargetRules || t > TargetHistory {
@@ -85,7 +89,7 @@ type MineStmt struct {
 	MaxLength int // CYCLES: maximum cycle length
 	MinReps   int // CYCLES/CALENDARS: minimum occurrences
 	MaxSize   int // bound on itemset size (MaxK)
-	Limit     int // -1 = no limit
+	Limit     int // NoLimit (-1) = no limit; 0 = LIMIT 0 (empty result)
 	// RuleSpec is the HISTORY target's rule, e.g. "coffee => croissant"
 	// (item names resolved against the database dictionary at execution).
 	RuleSpec string

@@ -26,6 +26,7 @@
 package tarm
 
 import (
+	"context"
 	"net/http"
 
 	"github.com/tarm-project/tarm/internal/apriori"
@@ -202,9 +203,22 @@ func BuildHoldTable(tbl *TxTable, cfg Config) (*HoldTable, error) {
 	return core.BuildHoldTable(tbl, cfg)
 }
 
+// BuildHoldTableContext is BuildHoldTable under a context: the build
+// observes cancellation at granule-block and pass boundaries, so a
+// cancelled caller gets ctx.Err() promptly without per-transaction
+// overhead. Every miner below has the same Context form.
+func BuildHoldTableContext(ctx context.Context, tbl *TxTable, cfg Config) (*HoldTable, error) {
+	return core.BuildHoldTableContext(ctx, tbl, cfg)
+}
+
 // MineValidPeriodsFromTable is Task I over a prebuilt HoldTable.
 func MineValidPeriodsFromTable(h *HoldTable, pcfg PeriodConfig) ([]PeriodRule, error) {
 	return core.MineValidPeriodsFromTable(h, pcfg)
+}
+
+// MineValidPeriodsFromTableContext is the cancellable form.
+func MineValidPeriodsFromTableContext(ctx context.Context, h *HoldTable, pcfg PeriodConfig) ([]PeriodRule, error) {
+	return core.MineValidPeriodsFromTableContext(ctx, h, pcfg)
 }
 
 // MineCyclesFromTable is Task II (cycles) over a prebuilt HoldTable.
@@ -212,14 +226,29 @@ func MineCyclesFromTable(h *HoldTable, ccfg CycleConfig) ([]CyclicRule, error) {
 	return core.MineCyclesFromTable(h, ccfg)
 }
 
+// MineCyclesFromTableContext is the cancellable form.
+func MineCyclesFromTableContext(ctx context.Context, h *HoldTable, ccfg CycleConfig) ([]CyclicRule, error) {
+	return core.MineCyclesFromTableContext(ctx, h, ccfg)
+}
+
 // MineDuringFromTable is Task III over a prebuilt HoldTable.
 func MineDuringFromTable(h *HoldTable, feature Pattern) ([]TemporalRule, error) {
 	return core.MineDuringFromTable(h, feature)
 }
 
+// MineDuringFromTableContext is the cancellable form.
+func MineDuringFromTableContext(ctx context.Context, h *HoldTable, feature Pattern) ([]TemporalRule, error) {
+	return core.MineDuringFromTableContext(ctx, h, feature)
+}
+
 // MineValidPeriods runs Task I: rules with their maximal valid periods.
 func MineValidPeriods(tbl *TxTable, cfg Config, pcfg PeriodConfig) ([]PeriodRule, error) {
 	return core.MineValidPeriods(tbl, cfg, pcfg)
+}
+
+// MineValidPeriodsContext is the cancellable form.
+func MineValidPeriodsContext(ctx context.Context, tbl *TxTable, cfg Config, pcfg PeriodConfig) ([]PeriodRule, error) {
+	return core.MineValidPeriodsContext(ctx, tbl, cfg, pcfg)
 }
 
 // MineCycles runs the arithmetic half of Task II: rules with the cycles
@@ -228,16 +257,31 @@ func MineCycles(tbl *TxTable, cfg Config, ccfg CycleConfig) ([]CyclicRule, error
 	return core.MineCycles(tbl, cfg, ccfg)
 }
 
+// MineCyclesContext is the cancellable form.
+func MineCyclesContext(ctx context.Context, tbl *TxTable, cfg Config, ccfg CycleConfig) ([]CyclicRule, error) {
+	return core.MineCyclesContext(ctx, tbl, cfg, ccfg)
+}
+
 // MineCalendarPeriodicities runs the calendar half of Task II: rules
 // with calendar-class features such as "weekday in (6..7)".
 func MineCalendarPeriodicities(tbl *TxTable, cfg Config, ccfg CycleConfig) ([]CalendarRule, error) {
 	return core.MineCalendarPeriodicities(tbl, cfg, ccfg)
 }
 
+// MineCalendarPeriodicitiesContext is the cancellable form.
+func MineCalendarPeriodicitiesContext(ctx context.Context, tbl *TxTable, cfg Config, ccfg CycleConfig) ([]CalendarRule, error) {
+	return core.MineCalendarPeriodicitiesContext(ctx, tbl, cfg, ccfg)
+}
+
 // MineDuring runs Task III: rules that hold during the given temporal
 // feature.
 func MineDuring(tbl *TxTable, cfg Config, feature Pattern) ([]TemporalRule, error) {
 	return core.MineDuring(tbl, cfg, feature)
+}
+
+// MineDuringContext is the cancellable form.
+func MineDuringContext(ctx context.Context, tbl *TxTable, cfg Config, feature Pattern) ([]TemporalRule, error) {
+	return core.MineDuringContext(ctx, tbl, cfg, feature)
 }
 
 // MineDuringExpr is MineDuring with a textual feature expression.
@@ -249,6 +293,12 @@ func MineDuringExpr(tbl *TxTable, cfg Config, expr string) ([]TemporalRule, erro
 // table.
 func MineTraditional(tbl *TxTable, minSupport, minConfidence float64, maxK int) ([]Rule, error) {
 	return core.MineTraditional(tbl, minSupport, minConfidence, maxK)
+}
+
+// MineTraditionalContext is the cancellable form; it passes the default
+// backend, worker and tracer settings.
+func MineTraditionalContext(ctx context.Context, tbl *TxTable, minSupport, minConfidence float64, maxK int) ([]Rule, error) {
+	return core.MineTraditionalContext(ctx, tbl, minSupport, minConfidence, maxK, BackendAuto, 0, nil)
 }
 
 // Rule post-processing (result analysis).
@@ -275,6 +325,11 @@ type GranuleStat = core.GranuleStat
 // rule — the result-analysis companion to the discovery tasks.
 func RuleHistory(tbl *TxTable, cfg Config, ante, cons Itemset) ([]GranuleStat, error) {
 	return core.RuleHistory(tbl, cfg, ante, cons)
+}
+
+// RuleHistoryContext is the cancellable form.
+func RuleHistoryContext(ctx context.Context, tbl *TxTable, cfg Config, ante, cons Itemset) ([]GranuleStat, error) {
+	return core.RuleHistoryContext(ctx, tbl, cfg, ante, cons)
 }
 
 // IQMS: the integrated query-and-mining session.
