@@ -22,15 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"sync"
 	"time"
 
-	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/clihelp"
 	"github.com/tarm-project/tarm/internal/core"
 	"github.com/tarm-project/tarm/internal/minisql"
 	"github.com/tarm-project/tarm/internal/obs"
@@ -39,16 +37,16 @@ import (
 )
 
 func main() {
+	var mf clihelp.MiningFlags
 	dbDir := flag.String("db", "", "database directory (empty: in-memory)")
 	script := flag.String("f", "", "execute statements from this file and exit")
-	backendName := flag.String("backend", "auto", "counting backend: auto, naive, hashtree or bitmap")
-	workers := flag.Int("workers", 0, "parallel counting workers (0 = sequential)")
-	cacheMB := flag.Int("cache", int(core.DefaultCacheBytes>>20), "hold-table cache budget in MB (0 = disable caching)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
-	timeout := flag.Duration("timeout", 0, "abort any single statement after this long, e.g. 30s (0 = no limit)")
+	mf.RegisterMining(flag.CommandLine)
+	mf.RegisterTimeout(flag.CommandLine)
+	mf.RegisterCache(flag.CommandLine)
 	flag.Parse()
 
-	backend, err := apriori.ParseBackend(*backendName)
+	backend, err := mf.Backend()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iqms:", err)
 		os.Exit(2)
@@ -66,11 +64,12 @@ func main() {
 	}
 	session := tml.NewSession(db)
 	session.TML.Backend = backend
-	session.TML.Workers = *workers
-	session.TML.Cache = core.NewHoldCache(int64(*cacheMB) << 20)
+	session.TML.Workers = mf.Workers
+	session.TML.Cache = core.NewHoldCache(mf.CacheBytes())
 
 	if *metricsAddr != "" {
-		if err := serveMetrics(*metricsAddr, session); err != nil {
+		session.TML.Tracer = obs.NewRegistryTracer(obs.Default, "")
+		if err := clihelp.ServeMetrics("iqms", *metricsAddr, obs.Default); err != nil {
 			fmt.Fprintln(os.Stderr, "iqms:", err)
 			os.Exit(1)
 		}
@@ -85,7 +84,7 @@ func main() {
 		defer f.Close()
 		// Script mode keeps the default SIGINT behaviour: Ctrl-C kills
 		// the whole run, as batch tools are expected to.
-		if err := run(session, db, f, os.Stdout, os.Stderr, false, execOpts{timeout: *timeout}); err != nil {
+		if err := run(session, db, f, os.Stdout, os.Stderr, false, execOpts{timeout: mf.Timeout}); err != nil {
 			fmt.Fprintln(os.Stderr, "iqms:", err)
 			os.Exit(1)
 		}
@@ -93,7 +92,7 @@ func main() {
 	}
 	fmt.Println("IQMS — integrated query and mining system. \\help for help, \\quit to exit.")
 	intr := newInterrupts(os.Stderr)
-	if err := run(session, db, os.Stdin, os.Stdout, os.Stderr, true, execOpts{timeout: *timeout, intr: intr}); err != nil {
+	if err := run(session, db, os.Stdin, os.Stdout, os.Stderr, true, execOpts{timeout: mf.Timeout, intr: intr}); err != nil {
 		fmt.Fprintln(os.Stderr, "iqms:", err)
 		os.Exit(1)
 	}
@@ -147,25 +146,6 @@ func (i *interrupts) disarm() {
 	i.mu.Lock()
 	i.cancel = nil
 	i.mu.Unlock()
-}
-
-// serveMetrics binds addr, serves the observability mux in the
-// background and folds every statement's telemetry into the default
-// metrics registry. Binding synchronously surfaces a bad address as a
-// startup error rather than a lost log line.
-func serveMetrics(addr string, session *tml.Session) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	session.TML.Tracer = obs.NewRegistryTracer(obs.Default, "")
-	fmt.Fprintf(os.Stderr, "iqms: metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
-	go func() {
-		if err := http.Serve(ln, obs.DebugMux(obs.Default)); err != nil {
-			fmt.Fprintln(os.Stderr, "iqms: metrics server:", err)
-		}
-	}()
-	return nil
 }
 
 // run executes statements from r. Statements may span lines and end at

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/tarm-project/tarm/internal/clihelp"
 	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/tml"
@@ -143,16 +144,14 @@ func TestImportExportCSV(t *testing.T) {
 }
 
 // TestServeMetrics boots the observability endpoint on an ephemeral
-// port, runs a MINE statement through the session and checks the
-// statement counter surfaced in the Prometheus text output.
+// port (through the shared clihelp path main uses), runs a MINE
+// statement through the session and checks the statement counter.
 func TestServeMetrics(t *testing.T) {
 	db := testDB(t)
 	session := tml.NewSession(db)
-	if err := serveMetrics("127.0.0.1:0", session); err != nil {
+	session.TML.Tracer = obs.NewRegistryTracer(obs.Default, "")
+	if err := clihelp.ServeMetrics("iqms", "127.0.0.1:0", obs.Default); err != nil {
 		t.Fatal(err)
-	}
-	if session.TML.Tracer == nil {
-		t.Fatal("metrics tracer not installed")
 	}
 	before := obs.Default.Counter("tarm_statements_total").Value()
 	var out, errs strings.Builder
@@ -163,7 +162,7 @@ func TestServeMetrics(t *testing.T) {
 	if got := obs.Default.Counter("tarm_statements_total").Value(); got != before+1 {
 		t.Errorf("statements counter = %d, want %d", got, before+1)
 	}
-	if err := serveMetrics("256.0.0.1:bad", session); err == nil {
+	if err := clihelp.ServeMetrics("iqms", "256.0.0.1:bad", obs.Default); err == nil {
 		t.Error("bad metrics address accepted")
 	}
 }

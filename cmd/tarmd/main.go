@@ -1,0 +1,104 @@
+// Command tarmd is the concurrent TML mining server: it opens a
+// database directory and serves MINE / EXPLAIN MINE statements over
+// HTTP to many sessions at once, all sharing one hold-table cache.
+//
+// Usage:
+//
+//	tarmd -db ./data -addr :8440
+//	tarmd -db ./data -addr :8440 -pool 8 -queue 16 -timeout 30s -cache 256
+//	curl -d 'MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.1 CONFIDENCE 0.6;' \
+//	     'http://localhost:8440/v1/statements?format=text'
+//
+// The same port serves the observability endpoints (/metrics,
+// /debug/vars, /debug/pprof). SIGINT/SIGTERM drains gracefully: new
+// statements get 503, in-flight statements finish (up to -drain),
+// then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/clihelp"
+	"github.com/tarm-project/tarm/internal/server"
+	"github.com/tarm-project/tarm/internal/tdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tarmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var mf clihelp.MiningFlags
+	fs := flag.CommandLine
+	dbDir := fs.String("db", "", "database directory")
+	addr := fs.String("addr", ":8440", "listen address")
+	pool := fs.Int("pool", 4, "statements executing concurrently")
+	queue := fs.Int("queue", 0, "statements allowed to wait for a slot (0 = 2*pool)")
+	drain := fs.Duration("drain", 30*time.Second, "how long to wait for in-flight statements on shutdown")
+	mf.RegisterMining(fs)
+	mf.RegisterTimeout(fs)
+	mf.RegisterCache(fs)
+	flag.Parse()
+
+	if *dbDir == "" {
+		return errors.New("-db is required")
+	}
+	backend, err := mf.Backend()
+	if err != nil {
+		return err
+	}
+	db, err := tdb.Open(*dbDir)
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(db, server.Config{
+		Pool:       *pool,
+		Queue:      *queue,
+		Timeout:    mf.Timeout,
+		Backend:    backend,
+		Workers:    mf.Workers,
+		CacheBytes: mf.CacheBytes(),
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "tarmd: serving %s on %s (pool %d, metrics on /metrics)\n",
+			*dbDir, *addr, *pool)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "tarmd: %v, draining (up to %s)\n", s, *drain)
+	}
+
+	// Statement-level drain first (stop admitting, finish what's
+	// running), then the connection-level shutdown.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tarmd:", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "tarmd: drained, bye")
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 
 	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/bench"
+	"github.com/tarm-project/tarm/internal/clihelp"
 	"github.com/tarm-project/tarm/internal/minisql"
 	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/tdb"
@@ -29,23 +30,23 @@ import (
 )
 
 func main() {
+	var mf clihelp.MiningFlags
 	dbDir := flag.String("db", "", "database directory")
 	stmt := flag.String("e", "", "statement to execute (TML or SQL)")
 	experiment := flag.String("experiment", "", "experiment id (e1..e11) or 'all'")
-	backendName := flag.String("backend", "auto", "counting backend: auto, naive, hashtree or bitmap")
-	workers := flag.Int("workers", 0, "parallel counting workers (0 = sequential)")
 	statsPath := flag.String("stats", "", "write mining telemetry JSON to this file ('-' = stdout; the result table then goes to stderr)")
 	progress := flag.Bool("progress", false, "render per-pass mining progress to stderr")
-	timeout := flag.Duration("timeout", 0, "abort the statement after this long, e.g. 30s (0 = no limit)")
+	mf.RegisterMining(flag.CommandLine)
+	mf.RegisterTimeout(flag.CommandLine)
 	flag.Parse()
 
-	backend, err := apriori.ParseBackend(*backendName)
+	backend, err := mf.Backend()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tarmine:", err)
 		os.Exit(2)
 	}
 	bench.Backend = backend
-	bench.Workers = *workers
+	bench.Workers = mf.Workers
 	if *progress {
 		bench.Tracer = obs.NewProgressTracer(os.Stderr)
 	}
@@ -76,13 +77,9 @@ func main() {
 		if *statsPath == "-" {
 			out = os.Stderr
 		}
-		ctx := context.Background()
-		if *timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *timeout)
-			defer cancel()
-		}
-		if err := execStatement(ctx, *dbDir, *stmt, backend, *workers, out, obs.Multi(tracers...)); err != nil {
+		ctx, cancel := mf.StatementContext(context.Background())
+		defer cancel()
+		if err := execStatement(ctx, *dbDir, *stmt, backend, mf.Workers, out, obs.Multi(tracers...)); err != nil {
 			fmt.Fprintln(os.Stderr, "tarmine:", err)
 			os.Exit(1)
 		}

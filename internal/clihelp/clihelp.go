@@ -1,0 +1,99 @@
+// Package clihelp holds the flag and metrics setup shared by the three
+// binaries (iqms, tarmine, tarmd), so -backend, -workers, -timeout and
+// -cache spell, default and behave identically everywhere. Each binary
+// registers the subset it supports on its own FlagSet; resolution (the
+// backend parse, the cache sizing, the per-statement context) lives
+// here so the binaries cannot drift apart.
+package clihelp
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/core"
+	"github.com/tarm-project/tarm/internal/obs"
+)
+
+// Flag usage strings, shared verbatim by every binary that registers
+// the flag.
+const (
+	backendUsage = "counting backend: auto, naive, hashtree or bitmap"
+	workersUsage = "parallel counting workers (0 = sequential)"
+	timeoutUsage = "abort any single statement after this long, e.g. 30s (0 = no limit)"
+	cacheUsage   = "hold-table cache budget in MB (0 = disable caching)"
+)
+
+// MiningFlags is the cross-binary flag bundle. Zero value + Register*
+// + fs.Parse yields the shared defaults.
+type MiningFlags struct {
+	// BackendName is the raw -backend value; resolve it with Backend().
+	BackendName string
+	// Workers is the -workers value.
+	Workers int
+	// Timeout is the -timeout value (per statement).
+	Timeout time.Duration
+	// CacheMB is the -cache value in megabytes.
+	CacheMB int
+}
+
+// RegisterMining adds -backend and -workers, the knobs of the counting
+// pass itself, which every binary supports.
+func (f *MiningFlags) RegisterMining(fs *flag.FlagSet) {
+	fs.StringVar(&f.BackendName, "backend", "auto", backendUsage)
+	fs.IntVar(&f.Workers, "workers", 0, workersUsage)
+}
+
+// RegisterTimeout adds -timeout, the per-statement deadline.
+func (f *MiningFlags) RegisterTimeout(fs *flag.FlagSet) {
+	fs.DurationVar(&f.Timeout, "timeout", 0, timeoutUsage)
+}
+
+// RegisterCache adds -cache, the hold-table cache budget, defaulting
+// to core.DefaultCacheBytes.
+func (f *MiningFlags) RegisterCache(fs *flag.FlagSet) {
+	fs.IntVar(&f.CacheMB, "cache", int(core.DefaultCacheBytes>>20), cacheUsage)
+}
+
+// Backend resolves -backend, with the same error text in every binary.
+func (f *MiningFlags) Backend() (apriori.Backend, error) {
+	return apriori.ParseBackend(f.BackendName)
+}
+
+// CacheBytes converts -cache to the byte budget NewHoldCache expects
+// (0 disables caching).
+func (f *MiningFlags) CacheBytes() int64 { return int64(f.CacheMB) << 20 }
+
+// StatementContext applies -timeout to parent: with a timeout it
+// returns a deadline context, without one it returns parent and a
+// no-op cancel, so callers can defer cancel() unconditionally.
+func (f *MiningFlags) StatementContext(parent context.Context) (context.Context, context.CancelFunc) {
+	if f.Timeout > 0 {
+		return context.WithTimeout(parent, f.Timeout)
+	}
+	return parent, func() {}
+}
+
+// ServeMetrics binds addr and serves the observability DebugMux
+// (/metrics, /debug/vars, /debug/pprof) for reg in the background,
+// announcing the resolved address on stderr under the binary's name.
+// Binding synchronously surfaces a bad address as a startup error
+// rather than a lost log line.
+func ServeMetrics(binary, addr string, reg *obs.Registry) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: metrics on http://%s/metrics (pprof under /debug/pprof/)\n", binary, ln.Addr())
+	go func() {
+		if err := http.Serve(ln, obs.DebugMux(reg)); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: metrics server: %v\n", binary, err)
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,123 @@
+package clihelp
+
+import (
+	"context"
+	"flag"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/core"
+)
+
+// newFlagSet builds a fresh FlagSet the way each binary does, so the
+// tests exercise exactly the per-binary registration path.
+func newFlagSet(name string, mf *MiningFlags) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	mf.RegisterMining(fs)
+	mf.RegisterTimeout(fs)
+	mf.RegisterCache(fs)
+	return fs
+}
+
+// TestFlagsIdenticalAcrossBinaries parses the same command lines
+// through three independent FlagSets — one per binary — and asserts
+// every resolved value matches, which is the clihelp contract:
+// -backend/-workers/-timeout/-cache cannot drift between iqms, tarmine
+// and tarmd.
+func TestFlagsIdenticalAcrossBinaries(t *testing.T) {
+	cases := [][]string{
+		{}, // defaults
+		{"-backend", "bitmap", "-workers", "4"},
+		{"-backend", "hashtree", "-timeout", "30s"},
+		{"-backend", "naive", "-workers", "2", "-timeout", "1500ms", "-cache", "64"},
+		{"-cache", "0"},
+	}
+	for _, args := range cases {
+		var got []MiningFlags
+		for _, bin := range []string{"iqms", "tarmine", "tarmd"} {
+			var mf MiningFlags
+			if err := newFlagSet(bin, &mf).Parse(args); err != nil {
+				t.Fatalf("%s %v: %v", bin, args, err)
+			}
+			got = append(got, mf)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] != got[0] {
+				t.Errorf("args %v: binary %d parsed %+v, binary 0 parsed %+v", args, i, got[i], got[0])
+			}
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	var mf MiningFlags
+	if err := newFlagSet("x", &mf).Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if mf.BackendName != "auto" || mf.Workers != 0 || mf.Timeout != 0 {
+		t.Errorf("defaults: %+v", mf)
+	}
+	if b, err := mf.Backend(); err != nil || b != apriori.BackendAuto {
+		t.Errorf("Backend() = %v, %v", b, err)
+	}
+	if got, want := mf.CacheBytes(), core.DefaultCacheBytes; got != want {
+		t.Errorf("CacheBytes() = %d, want %d", got, want)
+	}
+}
+
+func TestBackendResolution(t *testing.T) {
+	for name, want := range map[string]apriori.Backend{
+		"auto":     apriori.BackendAuto,
+		"naive":    apriori.BackendNaive,
+		"hashtree": apriori.BackendHashTree,
+		"bitmap":   apriori.BackendBitmap,
+	} {
+		mf := MiningFlags{BackendName: name}
+		got, err := mf.Backend()
+		if err != nil || got != want {
+			t.Errorf("Backend(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	mf := MiningFlags{BackendName: "quantum"}
+	if _, err := mf.Backend(); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestStatementContext(t *testing.T) {
+	// No timeout: the parent comes back unchanged with a no-op cancel.
+	var mf MiningFlags
+	parent := context.Background()
+	ctx, cancel := mf.StatementContext(parent)
+	if ctx != parent {
+		t.Error("zero timeout should return the parent context")
+	}
+	cancel() // must be safe
+	if ctx.Err() != nil {
+		t.Error("no-op cancel cancelled the parent")
+	}
+
+	// With a timeout: a deadline at roughly now+timeout.
+	mf.Timeout = time.Minute
+	ctx, cancel = mf.StatementContext(parent)
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("timeout context has no deadline")
+	}
+	if until := time.Until(dl); until <= 0 || until > time.Minute {
+		t.Errorf("deadline %v from now, want (0, 1m]", until)
+	}
+}
+
+func TestCacheBytes(t *testing.T) {
+	if got := (&MiningFlags{CacheMB: 64}).CacheBytes(); got != 64<<20 {
+		t.Errorf("CacheBytes(64MB) = %d", got)
+	}
+	if got := (&MiningFlags{CacheMB: 0}).CacheBytes(); got != 0 {
+		t.Errorf("CacheBytes(0) = %d", got)
+	}
+}

@@ -1,0 +1,477 @@
+// Package server implements tarmd, the concurrent TML mining service:
+// an HTTP/JSON front end that executes MINE and EXPLAIN MINE
+// statements for many sessions over one shared database and one shared
+// hold-table cache.
+//
+// Interactive mining workloads are bursts of near-duplicate statements
+// — the same table, granularity and thresholds with small variations —
+// which is exactly what the support-monotone HoldCache serves best:
+// concurrent identical statements singleflight onto one cold build,
+// and follow-ups at equal-or-higher support re-threshold the resident
+// count vectors without touching the data. The server adds the
+// multi-session scaffolding around that engine:
+//
+//   - a bounded worker pool: at most Pool statements execute at once,
+//     at most Queue more wait; beyond that requests are rejected with
+//     429 and a Retry-After hint (backpressure, not collapse);
+//   - per-statement deadlines (server default, tightened per request),
+//     surfaced as 504 when exceeded;
+//   - graceful drain: Drain stops admission (503) and waits for the
+//     statements in flight, so a SIGTERM never kills a running MINE;
+//   - observability: request counters, queue-depth and inflight
+//     gauges, per-task latency histograms and the engine's own mining
+//     telemetry all land in one obs.Registry, served on the same mux
+//     (/metrics, /debug/vars, /debug/pprof).
+//
+// Endpoints:
+//
+//	POST /v1/statements   execute one MINE or EXPLAIN MINE statement
+//	GET  /v1/tables       list tables (name, kind, rows)
+//	GET  /healthz         liveness + pool occupancy
+//
+// POST bodies are JSON ({"statement": "...", "timeout_ms": 0}) or raw
+// text. Responses are JSON; ?format=text returns the same aligned
+// table tarmine prints, byte for byte.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/core"
+	"github.com/tarm-project/tarm/internal/minisql"
+	"github.com/tarm-project/tarm/internal/obs"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/tml"
+)
+
+// Server metric names, published on the configured Registry next to
+// the engine's tarm_* mining metrics.
+const (
+	MetricRequests     = "tarmd_requests_total"          // statements admitted (counter)
+	MetricOK           = "tarmd_statements_ok_total"     // statements answered 200 (counter)
+	MetricErrors       = "tarmd_statements_err_total"    // statements failed (counter)
+	MetricTimeouts     = "tarmd_statement_timeouts_total" // deadline-exceeded statements (counter)
+	MetricQueueFull    = "tarmd_rejected_queue_full_total" // 429s (counter)
+	MetricDraining     = "tarmd_rejected_draining_total"   // 503s during drain (counter)
+	MetricQueueDepth   = "tarmd_queue_depth"             // statements waiting for a pool slot (gauge)
+	MetricInflight     = "tarmd_inflight"                // statements executing (gauge)
+	MetricLatency      = "tarmd_statement_seconds"       // end-to-end statement latency (histogram)
+	metricLatencyTask  = "tarmd_statement_seconds_task_" // + task key (histograms)
+)
+
+// Config shapes a Server. The zero value is usable: defaults are
+// filled by New.
+type Config struct {
+	// Pool is the maximum number of statements executing concurrently
+	// (0 = 4). Mining saturates cores quickly, so this is a statement
+	// budget, not a thread budget; Workers below parallelises inside a
+	// statement.
+	Pool int
+	// Queue is how many admitted statements may wait for a pool slot
+	// (0 = 2×Pool). Requests beyond Pool+Queue get 429 + Retry-After.
+	Queue int
+	// Timeout is the per-statement deadline (0 = none). A request's
+	// timeout_ms can tighten it, never extend it.
+	Timeout time.Duration
+	// RetryAfter is the hint on 429/503 responses (0 = 1s).
+	RetryAfter time.Duration
+	// Backend and Workers configure the counting pass of every
+	// statement, like the -backend/-workers flags of the CLIs.
+	Backend apriori.Backend
+	Workers int
+	// CacheBytes is the shared hold-table cache budget (0 =
+	// core.DefaultCacheBytes, < 0 disables caching).
+	CacheBytes int64
+	// Registry receives the server and engine metrics (nil = a fresh
+	// registry, so embedded servers do not collide on obs.Default).
+	Registry *obs.Registry
+	// Tracer, when set, additionally receives every statement's mining
+	// telemetry (tests hook the pass stream through this).
+	Tracer obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pool <= 0 {
+		c.Pool = 4
+	}
+	if c.Queue <= 0 {
+		c.Queue = 2 * c.Pool
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = core.DefaultCacheBytes
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the tarmd HTTP front end. It is an http.Handler; run it
+// under any http.Server and call Drain before exiting.
+type Server struct {
+	cfg  Config
+	db   *tdb.DB
+	exec *tml.Executor
+	reg  *obs.Registry
+	mux  *http.ServeMux
+
+	sem      chan struct{} // pool slots
+	admitted atomic.Int64  // statements admitted and not yet finished
+	inflight atomic.Int64  // statements holding a pool slot
+	draining atomic.Bool
+	wg       sync.WaitGroup // in-flight statement handlers, for Drain
+}
+
+// New builds a server over db. All sessions share one executor — and
+// through it one HoldCache — so concurrent identical statements
+// deduplicate onto a single cold build and warm statements are served
+// from memory regardless of which client issued the build.
+func New(db *tdb.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		db:  db,
+		reg: cfg.Registry,
+		sem: make(chan struct{}, cfg.Pool),
+	}
+	s.exec = tml.NewExecutor(db)
+	s.exec.Backend = cfg.Backend
+	s.exec.Workers = cfg.Workers
+	s.exec.Cache = core.NewHoldCache(cfg.CacheBytes)
+	s.exec.Tracer = obs.Multi(obs.NewRegistryTracer(s.reg, ""), cfg.Tracer)
+
+	// The statement endpoints share the mux with the observability
+	// endpoints, so one port serves both traffic and diagnostics.
+	s.mux = obs.DebugMux(s.reg)
+	s.mux.HandleFunc("POST /v1/statements", s.handleStatement)
+	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Executor exposes the shared TML executor (and through it the shared
+// HoldCache) for embedders that mix HTTP and in-process statements.
+func (s *Server) Executor() *tml.Executor { return s.exec }
+
+// Registry returns the metrics registry the server publishes to.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops admitting statements (they get 503 + Retry-After) and
+// waits for the ones in flight to finish, or for ctx to expire. It is
+// the statement-level half of a graceful shutdown; pair it with
+// http.Server.Shutdown for the connection-level half.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// An idle server is drained regardless of the context: only
+		// report interruption when statements are actually in flight.
+		if s.admitted.Load() == 0 {
+			<-done
+			return nil
+		}
+		return fmt.Errorf("server: drain interrupted with %d statement(s) in flight: %w",
+			s.admitted.Load(), ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// statementRequest is the POST /v1/statements JSON body.
+type statementRequest struct {
+	Statement string `json:"statement"`
+	// TimeoutMS tightens the server's per-statement deadline for this
+	// request; it can never extend it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// statementResponse is the JSON answer: the result table (cells
+// rendered exactly as the CLI displays them) plus timing.
+type statementResponse struct {
+	Statement string     `json:"statement"`
+	Cols      []string   `json:"cols"`
+	Rows      [][]string `json:"rows"`
+	RowCount  int        `json:"row_count"`
+	WallMS    float64    `json:"wall_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBody bounds statement bodies; TML statements are lines, not blobs.
+const maxBody = 1 << 20
+
+// handleStatement admits, executes and renders one statement.
+func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
+	req, err := readStatement(r)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Admission control. Draining beats queueing: a draining server
+	// refuses everything so the pool empties monotonically.
+	if s.draining.Load() {
+		s.reg.Counter(MetricDraining).Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		s.reject(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if n := s.admitted.Add(1); n > int64(s.cfg.Pool+s.cfg.Queue) {
+		s.admitted.Add(-1)
+		s.reg.Counter(MetricQueueFull).Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		s.reject(w, http.StatusTooManyRequests,
+			fmt.Sprintf("statement queue full (%d executing + %d waiting)", s.cfg.Pool, s.cfg.Queue))
+		return
+	}
+	s.wg.Add(1)
+	defer s.wg.Done()
+	// Runs after the slot-release defer below (LIFO), so the last
+	// gauge publication of the request sees the decremented count.
+	defer func() {
+		s.admitted.Add(-1)
+		s.gauges()
+	}()
+	s.reg.Counter(MetricRequests).Add(1)
+	s.gauges()
+
+	// The statement's deadline covers the queue wait too: a statement
+	// that waited its deadline away is already late.
+	ctx, cancel := s.statementContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+
+	// Take a pool slot or give up (client gone / deadline passed).
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.statementError(w, req.Statement, ctx.Err())
+		return
+	}
+	s.inflight.Add(1)
+	s.gauges()
+	defer func() {
+		<-s.sem
+		s.inflight.Add(-1)
+		s.gauges()
+	}()
+
+	start := time.Now()
+	res, task, err := s.execute(ctx, req.Statement)
+	wall := time.Since(start)
+	s.reg.Histogram(MetricLatency).Observe(wall.Seconds())
+	if task != "" {
+		s.reg.Histogram(metricLatencyTask + task).Observe(wall.Seconds())
+	}
+	if err != nil {
+		s.statementError(w, req.Statement, err)
+		return
+	}
+	s.reg.Counter(MetricOK).Add(1)
+
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		minisql.Format(w, res)
+		return
+	}
+	resp := statementResponse{
+		Statement: req.Statement,
+		Cols:      res.Cols,
+		Rows:      displayRows(res),
+		RowCount:  len(res.Rows),
+		WallMS:    float64(wall) / float64(time.Millisecond),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execute routes one admitted statement: EXPLAIN MINE to the planner,
+// MINE to the executor. Anything else is not served here — tarmd is a
+// mining endpoint, and concurrent SQL writes would race the miners.
+func (s *Server) execute(ctx context.Context, input string) (*minisql.Result, string, error) {
+	if rest, ok := tml.SplitExplain(input); ok {
+		stmt, err := tml.Parse(rest)
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := s.exec.Explain(stmt)
+		return res, tml.TaskKey(stmt), err
+	}
+	if !tml.IsMineStatement(input) {
+		return nil, "", fmt.Errorf("tarmd: only MINE and EXPLAIN MINE statements are served (got %.40q)", input)
+	}
+	stmt, err := tml.Parse(input)
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := s.exec.ExecStmtContext(ctx, stmt)
+	return res, tml.TaskKey(stmt), err
+}
+
+// statementContext derives the statement's deadline: the server
+// default, tightened by the request's timeout_ms when that is sooner.
+func (s *Server) statementContext(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.Timeout
+	if timeoutMS > 0 {
+		if rd := time.Duration(timeoutMS) * time.Millisecond; d == 0 || rd < d {
+			d = rd
+		}
+	}
+	if d <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// statementError maps an execution error onto a status code: deadline
+// exhaustion is the gateway-timeout contract (504), everything else —
+// parse errors, unknown tables, statements whose feature covers no
+// data — is the client's statement (400).
+func (s *Server) statementError(w http.ResponseWriter, stmt string, err error) {
+	s.reg.Counter(MetricErrors).Add(1)
+	code := http.StatusBadRequest
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.reg.Counter(MetricTimeouts).Add(1)
+		code = http.StatusGatewayTimeout
+	} else if errors.Is(err, context.Canceled) {
+		// The client went away; the code is moot but keep the 4xx class.
+		code = http.StatusBadRequest
+	}
+	s.reject(w, code, err.Error())
+}
+
+// readStatement decodes the request body: JSON when declared, raw text
+// otherwise.
+func readStatement(r *http.Request) (statementRequest, error) {
+	var req statementRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		return req, fmt.Errorf("tarmd: reading body: %w", err)
+	}
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "application/json" {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return req, fmt.Errorf("tarmd: bad JSON body: %w", err)
+		}
+	} else {
+		req.Statement = string(body)
+	}
+	if len(req.Statement) == 0 {
+		return req, fmt.Errorf("tarmd: empty statement")
+	}
+	return req, nil
+}
+
+// tableInfo is one GET /v1/tables row.
+type tableInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "transactions" or "table"
+	Rows int    `json:"rows"`
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	infos := []tableInfo{}
+	for _, n := range s.db.Names() {
+		info := tableInfo{Name: n, Kind: "table"}
+		if s.db.IsTxTable(n) {
+			info.Kind = "transactions"
+			if t, ok := s.db.TxTable(n); ok {
+				info.Rows = t.Len()
+			}
+		} else if t, ok := s.db.Table(n); ok {
+			info.Rows = t.Len()
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+type healthz struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Inflight int64  `json:"inflight"`
+	Queued   int64  `json:"queued"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := healthz{Status: "ok", Inflight: s.inflight.Load()}
+	h.Queued = s.admitted.Load() - h.Inflight
+	if h.Queued < 0 {
+		h.Queued = 0
+	}
+	if s.draining.Load() {
+		h.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// gauges publishes the pool occupancy.
+func (s *Server) gauges() {
+	inflight := s.inflight.Load()
+	queued := s.admitted.Load() - inflight
+	if queued < 0 {
+		queued = 0
+	}
+	s.reg.Gauge(MetricInflight).Set(float64(inflight))
+	s.reg.Gauge(MetricQueueDepth).Set(float64(queued))
+}
+
+func (s *Server) reject(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// displayRows renders every cell exactly as the CLI table renderer
+// displays it, so JSON and ?format=text consumers see the same values.
+func displayRows(res *minisql.Result) [][]string {
+	rows := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.Display()
+		}
+		rows[i] = cells
+	}
+	return rows
+}
+
+// retryAfterSeconds formats the Retry-After header (whole seconds,
+// minimum 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -333,6 +333,11 @@ func (s *Session) ExecContext(ctx context.Context, input string) (*minisql.Resul
 	return s.SQL.Exec(input)
 }
 
+// SplitExplain detects "EXPLAIN MINE ..." and returns the MINE part;
+// front ends that route EXPLAIN themselves (the tarmd server) share
+// the session's spelling through it.
+func SplitExplain(input string) (string, bool) { return stripExplain(input) }
+
 // stripExplain detects "EXPLAIN MINE ..." and returns the MINE part.
 func stripExplain(input string) (string, bool) {
 	fields := strings.Fields(input)

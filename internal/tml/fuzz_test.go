@@ -2,19 +2,36 @@ package tml
 
 import "testing"
 
-// FuzzParse checks the TML parser never panics and that accepted
-// statements survive a String round trip.
+// FuzzParse checks the TML parser never panics and that every accepted
+// statement survives a full canonical round trip: Parse → String →
+// Parse → String must reach a fixed point, so the canonical form is
+// itself valid TML and parsing it is lossless.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
+		// The examples of docs/TML.md, clause by clause.
 		`MINE RULES FROM baskets THRESHOLD SUPPORT 0.05 CONFIDENCE 0.6`,
+		`MINE RULES FROM baskets DURING 'month in (jun..aug) and weekday in (sat, sun)' THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 FREQUENCY 0.8 PRUNE LIFT 1.2 LIMIT 20;`,
 		`MINE RULES FROM b DURING 'month in (jun..aug)' THRESHOLD SUPPORT 0.1 CONFIDENCE 0.7 FREQUENCY 0.8`,
 		`MINE PERIODS FROM b AT GRANULARITY week THRESHOLD SUPPORT 0.05 CONFIDENCE 0.5 MIN LENGTH 3`,
+		`MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 FREQUENCY 0.9 MIN LENGTH 7;`,
 		`MINE CYCLES FROM b THRESHOLD SUPPORT 0.05 CONFIDENCE 0.5 MAX LENGTH 14 MIN REPS 3`,
+		`MINE CYCLES    FROM baskets THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 MAX LENGTH 31 MIN REPS 4;`,
 		`MINE CALENDARS FROM b THRESHOLD SUPPORT 0.05 CONFIDENCE 0.5`,
+		`MINE CALENDARS FROM baskets THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 FREQUENCY 0.8 MIN REPS 4;`,
 		`MINE HISTORY FROM b RULE 'a => c' THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`,
+		`MINE HISTORY FROM baskets RULE 'easter_egg => gift_wrap' THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6;`,
 		`MINE RULES FROM b THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 PRUNE LIFT 1.2 PVALUE 0.01 LIMIT 5`,
+		`MINE RULES FROM b THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 PRUNE IMPROVEMENT 0.05`,
+		`MINE RULES FROM b AT GRANULARITY hour THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 MAX SIZE 3 LIMIT 0`,
+		// Malformed shapes the lexer and clause loop must reject calmly.
 		`MINE RULES FROM`,
 		`mine rules from b threshold support .5 confidence .5`,
+		`MINE HISTORY FROM b THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`, // HISTORY without RULE
+		`MINE RULES FROM b DURING 'unterminated THRESHOLD SUPPORT 0.5`,
+		`MINE RULES FROM b THRESHOLD SUPPORT 1.5 CONFIDENCE 0.5`,
+		`EXPLAIN MINE RULES FROM b THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`,
+		"MINE RULES FROM b \x00 THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5",
+		`;;;`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -28,6 +45,13 @@ func FuzzParse(f *testing.F) {
 		stmt2, err := Parse(printed)
 		if err != nil {
 			t.Fatalf("accepted %q but rejected its own print %q: %v", input, printed, err)
+		}
+		// The canonical form must be a fixed point: printing the
+		// re-parse reproduces it byte for byte, which catches any
+		// clause that parses but prints differently (lost values,
+		// reordered clauses, bad quoting).
+		if again := stmt2.String(); again != printed {
+			t.Fatalf("canonical form not a fixed point:\n input %q\n first %q\n again %q", input, printed, again)
 		}
 		if stmt2.Target != stmt.Target || stmt2.Table != stmt.Table {
 			t.Fatalf("round trip changed statement: %q -> %q", input, printed)

@@ -36,6 +36,7 @@ import (
 	"github.com/tarm-project/tarm/internal/minisql"
 	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/prune"
+	"github.com/tarm-project/tarm/internal/server"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/timegran"
 	"github.com/tarm-project/tarm/internal/tml"
@@ -388,6 +389,22 @@ func NewMetricsTracer(r *MetricsRegistry, prefix string) Tracer {
 // and /debug/pprof/ for a registry (nil: DefaultMetrics), the mux
 // behind `iqms -metrics`.
 func MetricsMux(r *MetricsRegistry) *http.ServeMux { return obs.DebugMux(r) }
+
+// Mining server: the engine behind the tarmd binary, embeddable as an
+// http.Handler. All sessions share one executor and one HoldCache, so
+// concurrent identical statements deduplicate onto a single cold
+// hold-table build; a bounded pool applies backpressure (429 +
+// Retry-After) and Drain finishes in-flight statements on shutdown.
+type (
+	// Server is the concurrent TML statement service.
+	Server = server.Server
+	// ServerConfig sizes the pool, queue, deadlines and shared cache.
+	ServerConfig = server.Config
+)
+
+// NewServer builds a mining server over db; serve it with net/http and
+// call its Drain method before exiting.
+func NewServer(db *DB, cfg ServerConfig) *Server { return server.New(db, cfg) }
 
 // Synthetic workloads.
 type (
