@@ -33,7 +33,8 @@ func main() {
 	var mf clihelp.MiningFlags
 	dbDir := flag.String("db", "", "database directory")
 	stmt := flag.String("e", "", "statement to execute (TML or SQL)")
-	experiment := flag.String("experiment", "", "experiment id (e1..e11) or 'all'")
+	experiment := flag.String("experiment", "", "experiment id (e1..e14) or 'all'")
+	jsonPath := flag.String("json", "", "with -experiment: also write the result tables as JSON to this file ('-' = stdout)")
 	statsPath := flag.String("stats", "", "write mining telemetry JSON to this file ('-' = stdout; the result table then goes to stderr)")
 	progress := flag.Bool("progress", false, "render per-pass mining progress to stderr")
 	mf.RegisterMining(flag.CommandLine)
@@ -53,7 +54,7 @@ func main() {
 
 	switch {
 	case *experiment != "":
-		if err := runExperiments(*experiment); err != nil {
+		if err := runExperiments(*experiment, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "tarmine:", err)
 			os.Exit(1)
 		}
@@ -131,11 +132,15 @@ func writeStats(path, stmt string, st *obs.MineStats) error {
 	return os.WriteFile(path, buf, 0o644)
 }
 
-func runExperiments(id string) error {
+// runExperiments executes the selected experiments, rendering each
+// table to stdout; with jsonPath set it also writes the tables as a
+// JSON array so CI can archive machine-readable results.
+func runExperiments(id, jsonPath string) error {
 	ids := []string{id}
 	if id == "all" {
 		ids = bench.ExperimentIDs()
 	}
+	var tables []bench.Table
 	for _, eid := range ids {
 		run, ok := bench.Experiments[eid]
 		if !ok {
@@ -146,6 +151,19 @@ func runExperiments(id string) error {
 			return fmt.Errorf("%s: %w", eid, err)
 		}
 		fmt.Println(table.String())
+		tables = append(tables, table)
 	}
-	return nil
+	if jsonPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(tables, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if jsonPath == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(jsonPath, buf, 0o644)
 }

@@ -107,7 +107,7 @@ func TestStatsDump(t *testing.T) {
 }
 
 func TestRunExperimentsUnknown(t *testing.T) {
-	if err := runExperiments("nope"); err == nil {
+	if err := runExperiments("nope", ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

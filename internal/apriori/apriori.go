@@ -210,10 +210,14 @@ func MineContext(ctx context.Context, src Source, cfg Config) (*Frequent, error)
 		res.counts[ic.Set.Key()] = ic.Count
 	}
 
-	counter, backend, err := cfg.newCounter(src, l1)
+	counter, backend, pred, err := cfg.newCounter(src, l1)
 	if err != nil {
 		return nil, err
 	}
+	if trace {
+		tr.Gauge(obs.MetricCountingPredictedCost, pred.Cost(backend))
+	}
+	var countingNS int64
 	prev := l1
 	for k := 2; len(prev) > 0 && (cfg.MaxK == 0 || k <= cfg.MaxK); k++ {
 		if err := ctx.Err(); err != nil {
@@ -233,10 +237,12 @@ func MineContext(ctx context.Context, src Source, cfg Config) (*Frequent, error)
 			}
 			break
 		}
+		tc0 := time.Now()
 		counts, err := counter.CountLevel(cands, k)
 		if err != nil {
 			return nil, err
 		}
+		countingNS += time.Since(tc0).Nanoseconds()
 		var level []ItemsetCount
 		for i, c := range cands {
 			if counts[i] >= minCount {
@@ -256,6 +262,7 @@ func MineContext(ctx context.Context, src Source, cfg Config) (*Frequent, error)
 	}
 	if trace {
 		tr.Counter(obs.MetricItemsetsFrequent, int64(res.TotalItemsets()))
+		tr.Gauge(obs.MetricCountingObservedNS, float64(countingNS))
 	}
 	return res, nil
 }

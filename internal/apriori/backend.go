@@ -25,10 +25,15 @@ const (
 	// BackendBitmap is the vertical representation: per-item TID
 	// bitmaps intersected with word-parallel AND + popcount.
 	BackendBitmap
+	// BackendRoaring is the compressed vertical representation:
+	// per-item roaring bitmaps (array / bitmap / run containers)
+	// intersected per container pair, with batched container-major
+	// counting over same-prefix candidate runs.
+	BackendRoaring
 )
 
 // Valid reports whether b names a known backend.
-func (b Backend) Valid() bool { return b >= BackendAuto && b <= BackendBitmap }
+func (b Backend) Valid() bool { return b >= BackendAuto && b <= BackendRoaring }
 
 // String returns the flag-friendly name.
 func (b Backend) String() string {
@@ -41,6 +46,8 @@ func (b Backend) String() string {
 		return "hashtree"
 	case BackendBitmap:
 		return "bitmap"
+	case BackendRoaring:
+		return "roaring"
 	}
 	return fmt.Sprintf("Backend(%d)", int(b))
 }
@@ -57,35 +64,15 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendHashTree, nil
 	case "bitmap", "vertical", "eclat":
 		return BackendBitmap, nil
+	case "roaring", "compressed":
+		return BackendRoaring, nil
 	}
-	return 0, fmt.Errorf("apriori: unknown counting backend %q (want auto, naive, hashtree or bitmap)", s)
+	return 0, fmt.Errorf("apriori: unknown counting backend %q (want auto, naive, hashtree, bitmap or roaring)", s)
 }
 
-// maxBitmapBytes caps the memory the auto heuristic will spend on an
-// index before falling back to the hash tree.
+// maxBitmapBytes caps the memory the cost model will spend on a flat
+// bitmap index before ruling that backend out.
 const maxBitmapBytes = 512 << 20
-
-// ChooseAuto resolves BackendAuto from the shape of the data: n
-// transactions holding occurrences total occurrences of nItems distinct
-// (frequent) items. A bitmap AND costs O(n/64) per candidate no matter
-// how rare its items are, while hash-tree work scales with occurrences;
-// bitmaps therefore win unless the data is ultra-sparse (items present
-// in fewer than ~1/512 of the transactions on average) or the index
-// would not fit comfortably in memory.
-func ChooseAuto(n, nItems int, occurrences int64) Backend {
-	if n < 64 || nItems == 0 {
-		return BackendHashTree
-	}
-	words := int64((n + 63) / 64)
-	if int64(nItems)*words*8 > maxBitmapBytes {
-		return BackendHashTree
-	}
-	density := float64(occurrences) / (float64(nItems) * float64(n))
-	if density < 1.0/512 {
-		return BackendHashTree
-	}
-	return BackendBitmap
-}
 
 // Counter counts the support of one level of equal-length candidates
 // against a fixed transaction source. Mine builds one Counter per run
@@ -134,6 +121,20 @@ func (c *bitmapCounter) CountLevel(cands []itemset.Set, k int) ([]int, error) {
 	return c.ix.CountSetsParallel(cands, c.workers), nil
 }
 
+type roaringCounter struct {
+	src     Source
+	keep    map[itemset.Item]bool
+	workers int
+
+	once sync.Once
+	ix   *RoaringIndex
+}
+
+func (c *roaringCounter) CountLevel(cands []itemset.Set, k int) ([]int, error) {
+	c.once.Do(func() { c.ix = NewRoaringIndex(c.src, c.keep) })
+	return c.ix.CountSetsParallel(cands, c.workers), nil
+}
+
 // resolvedBackend maps the configured backend through the legacy
 // NaiveCounting flag.
 func (c Config) resolvedBackend() Backend {
@@ -147,34 +148,46 @@ func (c Config) resolvedBackend() Backend {
 }
 
 // newCounter builds the counter for src given the level-1 result: l1
-// carries the frequent 1-itemsets with their counts, which the bitmap
-// backend uses to index only items that can appear in a candidate and
-// the auto heuristic reads for density. The resolved backend is
-// returned alongside so the caller can report which one actually ran.
-func (c Config) newCounter(src Source, l1 []ItemsetCount) (Counter, Backend, error) {
+// carries the frequent 1-itemsets with their counts, from which the
+// vertical backends index only items that can appear in a candidate
+// and the cost model builds its exact density histogram. The resolved
+// backend and the full cost prediction are returned alongside so the
+// caller can report both what ran and what the model expected.
+func (c Config) newCounter(src Source, l1 []ItemsetCount) (Counter, Backend, *Prediction, error) {
 	b := c.resolvedBackend()
 	if !b.Valid() {
-		return nil, b, fmt.Errorf("apriori: invalid counting backend %d", int(b))
+		return nil, b, nil, fmt.Errorf("apriori: invalid counting backend %d", int(b))
 	}
+	stats := CountStats{N: src.Len(), Granules: 1}
+	for _, ic := range l1 {
+		stats.AddItem(ic.Count)
+	}
+	pred := Predict(stats)
 	if b == BackendAuto {
-		var occ int64
-		for _, ic := range l1 {
-			occ += int64(ic.Count)
-		}
-		b = ChooseAuto(src.Len(), len(l1), occ)
+		b = pred.Choice
+	} else {
+		pred.Choice = b
 	}
 	switch b {
 	case BackendNaive:
-		return naiveCounter{src: src}, b, nil
+		return naiveCounter{src: src}, b, &pred, nil
 	case BackendBitmap:
-		keep := make(map[itemset.Item]bool, len(l1))
-		for _, ic := range l1 {
-			keep[ic.Set[0]] = true
-		}
-		return &bitmapCounter{src: src, keep: keep, workers: c.Workers}, b, nil
+		return &bitmapCounter{src: src, keep: keepItems(l1), workers: c.Workers}, b, &pred, nil
+	case BackendRoaring:
+		return &roaringCounter{src: src, keep: keepItems(l1), workers: c.Workers}, b, &pred, nil
 	default:
-		return hashTreeCounter{src: src, fanout: c.Fanout, leaf: c.LeafSize}, b, nil
+		return hashTreeCounter{src: src, fanout: c.Fanout, leaf: c.LeafSize}, b, &pred, nil
 	}
+}
+
+// keepItems collects the frequent items of a level-1 result, the
+// ingest filter of the vertical index builders.
+func keepItems(l1 []ItemsetCount) map[itemset.Item]bool {
+	keep := make(map[itemset.Item]bool, len(l1))
+	for _, ic := range l1 {
+		keep[ic.Set[0]] = true
+	}
+	return keep
 }
 
 // NewCounter resolves cfg's backend for src and returns a ready
@@ -187,21 +200,25 @@ func NewCounter(src Source, cfg Config) (Counter, error) {
 		return nil, fmt.Errorf("apriori: invalid counting backend %d", int(b))
 	}
 	if b == BackendAuto {
-		items := make(map[itemset.Item]bool)
-		var occ int64
+		items := make(map[itemset.Item]int)
 		src.ForEach(func(tx itemset.Set) {
 			for _, x := range tx {
-				items[x] = true
+				items[x]++
 			}
-			occ += int64(len(tx))
 		})
-		b = ChooseAuto(src.Len(), len(items), occ)
+		stats := CountStats{N: src.Len(), Granules: 1}
+		for _, count := range items {
+			stats.AddItem(count)
+		}
+		b, _ = ChooseBackend(stats)
 	}
 	switch b {
 	case BackendNaive:
 		return naiveCounter{src: src}, nil
 	case BackendBitmap:
 		return &bitmapCounter{src: src, workers: cfg.Workers}, nil
+	case BackendRoaring:
+		return &roaringCounter{src: src, workers: cfg.Workers}, nil
 	default:
 		return hashTreeCounter{src: src, fanout: cfg.Fanout, leaf: cfg.LeafSize}, nil
 	}

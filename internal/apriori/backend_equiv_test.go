@@ -62,15 +62,17 @@ func TestBackendEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				variants := []Config{}
-				for _, b := range []Backend{BackendAuto, BackendHashTree, BackendBitmap} {
+				for _, b := range []Backend{BackendAuto, BackendHashTree, BackendBitmap, BackendRoaring} {
 					c := base
 					c.Backend = b
 					variants = append(variants, c)
 				}
-				par := base
-				par.Backend = BackendBitmap
-				par.Workers = 4
-				variants = append(variants, par)
+				for _, b := range []Backend{BackendBitmap, BackendRoaring} {
+					par := base
+					par.Backend = b
+					par.Workers = 4
+					variants = append(variants, par)
+				}
 				for _, cfg := range variants {
 					got, err := Mine(src, cfg)
 					if err != nil {

@@ -9,14 +9,17 @@ import (
 
 func TestParseBackend(t *testing.T) {
 	cases := map[string]Backend{
-		"":         BackendAuto,
-		"auto":     BackendAuto,
-		"naive":    BackendNaive,
-		"hashtree": BackendHashTree,
-		"Tree":     BackendHashTree,
-		"bitmap":   BackendBitmap,
-		"ECLAT":    BackendBitmap,
-		"vertical": BackendBitmap,
+		"":           BackendAuto,
+		"auto":       BackendAuto,
+		"naive":      BackendNaive,
+		"hashtree":   BackendHashTree,
+		"Tree":       BackendHashTree,
+		"bitmap":     BackendBitmap,
+		"ECLAT":      BackendBitmap,
+		"vertical":   BackendBitmap,
+		"roaring":    BackendRoaring,
+		"ROARING":    BackendRoaring,
+		"compressed": BackendRoaring,
 	}
 	for in, want := range cases {
 		got, err := ParseBackend(in)
@@ -27,7 +30,7 @@ func TestParseBackend(t *testing.T) {
 	if _, err := ParseBackend("quantum"); err == nil {
 		t.Error("ParseBackend accepted an unknown backend")
 	}
-	for b := BackendAuto; b <= BackendBitmap; b++ {
+	for b := BackendAuto; b <= BackendRoaring; b++ {
 		rt, err := ParseBackend(b.String())
 		if err != nil || rt != b {
 			t.Errorf("round trip of %v failed: %v, %v", b, rt, err)

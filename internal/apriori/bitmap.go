@@ -24,6 +24,24 @@ type BitmapIndex struct {
 	// setBits is the total number of set bits across all item bitmaps
 	// (= retained item occurrences); used by density diagnostics.
 	setBits int64
+	// scratch pools per-goroutine accumulator rows so EachIntersection
+	// allocates nothing in steady state.
+	scratch sync.Pool // *bitmapScratch
+}
+
+// bitmapScratch is the pooled accumulator of one intersection chain:
+// row d holds the intersection of a candidate's items [0..d+1].
+type bitmapScratch struct{ acc [][]uint64 }
+
+func (ix *BitmapIndex) getScratch(levels int) *bitmapScratch {
+	sc, _ := ix.scratch.Get().(*bitmapScratch)
+	if sc == nil {
+		sc = &bitmapScratch{}
+	}
+	for len(sc.acc) < levels {
+		sc.acc = append(sc.acc, make([]uint64, ix.words))
+	}
+	return sc
 }
 
 // NewBitmapIndex ingests src once, assigning transaction IDs in scan
@@ -137,11 +155,11 @@ func (ix *BitmapIndex) EachIntersection(cands []itemset.Set, fn func(i int, word
 	}
 	// acc[j-1] holds the intersection of the current candidate's items
 	// [0..j]; it stays valid while the next candidate shares those
-	// first j+1 items.
-	acc := make([][]uint64, k-1)
-	for d := range acc {
-		acc[d] = make([]uint64, ix.words)
-	}
+	// first j+1 items. The rows come from a pool, so steady-state calls
+	// allocate nothing.
+	sc := ix.getScratch(k - 1)
+	defer ix.scratch.Put(sc)
+	acc := sc.acc
 	var prev itemset.Set
 	for i, c := range cands {
 		shared := 0
@@ -176,9 +194,11 @@ func (ix *BitmapIndex) CountSets(cands []itemset.Set) []int {
 }
 
 // CountSetsParallel is CountSets fanned out over a worker pool. The
-// sorted candidate list is split into contiguous chunks — prefix reuse
-// keeps working inside each chunk — and workers write disjoint ranges
-// of the output, so the result is identical to the sequential count.
+// sorted candidate list is split into contiguous chunks aligned to
+// (k-1)-prefix run boundaries — prefix reuse keeps working inside each
+// chunk and no run pays its shared prefix intersection twice — and
+// workers write disjoint ranges of the output, so the result is
+// identical to the sequential count.
 func (ix *BitmapIndex) CountSetsParallel(cands []itemset.Set, workers int) []int {
 	if workers > len(cands) {
 		workers = len(cands)
@@ -187,21 +207,76 @@ func (ix *BitmapIndex) CountSetsParallel(cands []itemset.Set, workers int) []int
 		return ix.CountSets(cands)
 	}
 	counts := make([]int, len(cands))
-	chunk := (len(cands) + workers - 1) / workers
+	chunks := PrefixRunChunks(cands, workers)
+	if len(chunks) <= 1 {
+		return ix.CountSets(cands)
+	}
 	var wg sync.WaitGroup
-	for lo := 0; lo < len(cands); lo += chunk {
-		hi := lo + chunk
-		if hi > len(cands) {
-			hi = len(cands)
-		}
+	for _, ch := range chunks {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			ix.EachIntersection(cands[lo:hi], func(i int, words []uint64) {
 				counts[lo+i] = popcount(words)
 			})
-		}(lo, hi)
+		}(ch[0], ch[1])
 	}
 	wg.Wait()
 	return counts
+}
+
+// samePrefixK1 reports whether a and b share their first len(a)-1
+// items — i.e. belong to one (k-1)-prefix run of a sorted same-length
+// candidate list.
+func samePrefixK1(a, b itemset.Set) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrefixRunChunks splits a sorted same-length candidate list into at
+// most workers contiguous [lo, hi) chunks whose boundaries fall on
+// (k-1)-prefix run boundaries where possible: a tentative even split
+// point advances past any candidates sharing the previous one's
+// prefix. A split inside a run would make both workers recompute the
+// run's shared prefix intersection. k ≤ 1 candidates have no prefix to
+// preserve and split evenly. Runs longer than an even chunk reduce the
+// chunk count rather than split.
+func PrefixRunChunks(cands []itemset.Set, workers int) [][2]int {
+	if len(cands) == 0 {
+		return nil
+	}
+	if workers <= 1 || len(cands[0]) <= 1 {
+		chunks := make([][2]int, 0, workers)
+		if workers < 1 {
+			workers = 1
+		}
+		chunk := (len(cands) + workers - 1) / workers
+		for lo := 0; lo < len(cands); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			chunks = append(chunks, [2]int{lo, hi})
+		}
+		return chunks
+	}
+	chunk := (len(cands) + workers - 1) / workers
+	chunks := make([][2]int, 0, workers)
+	lo := 0
+	for lo < len(cands) {
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		for hi < len(cands) && samePrefixK1(cands[hi-1], cands[hi]) {
+			hi++
+		}
+		chunks = append(chunks, [2]int{lo, hi})
+		lo = hi
+	}
+	return chunks
 }

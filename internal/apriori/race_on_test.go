@@ -1,0 +1,9 @@
+//go:build race
+
+package apriori
+
+// raceEnabled reports whether the race detector is active. The
+// zero-alloc assertions skip under it: the race runtime instruments
+// allocations and sync.Pool intentionally drops Puts at random to
+// surface misuse, so steady-state alloc counts are nondeterministic.
+const raceEnabled = true

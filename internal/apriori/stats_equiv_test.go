@@ -50,7 +50,7 @@ func TestMineStatsInvariantsAcrossBackends(t *testing.T) {
 		stats *obs.MineStats
 	}
 	var runs []run
-	for _, backend := range []Backend{BackendHashTree, BackendBitmap} {
+	for _, backend := range []Backend{BackendHashTree, BackendBitmap, BackendRoaring} {
 		for _, workers := range []int{1, 4} {
 			label := fmt.Sprintf("%v/workers=%d", backend, workers)
 			collect := obs.NewCollectTracer()

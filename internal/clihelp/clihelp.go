@@ -23,7 +23,7 @@ import (
 // Flag usage strings, shared verbatim by every binary that registers
 // the flag.
 const (
-	backendUsage = "counting backend: auto, naive, hashtree or bitmap"
+	backendUsage = "counting backend: auto, naive, hashtree, bitmap or roaring"
 	workersUsage = "parallel counting workers (0 = sequential)"
 	timeoutUsage = "abort any single statement after this long, e.g. 30s (0 = no limit)"
 	cacheUsage   = "hold-table cache budget in MB (0 = disable caching)"

@@ -74,6 +74,7 @@ func TestBackendResolution(t *testing.T) {
 		"naive":    apriori.BackendNaive,
 		"hashtree": apriori.BackendHashTree,
 		"bitmap":   apriori.BackendBitmap,
+		"roaring":  apriori.BackendRoaring,
 	} {
 		mf := MiningFlags{BackendName: name}
 		got, err := mf.Backend()

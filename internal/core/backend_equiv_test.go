@@ -102,6 +102,8 @@ func TestHoldTableBackendEquivalence(t *testing.T) {
 			{apriori.BackendHashTree, 4},
 			{apriori.BackendBitmap, 1},
 			{apriori.BackendBitmap, 4},
+			{apriori.BackendRoaring, 1},
+			{apriori.BackendRoaring, 4},
 		}
 		for _, v := range variants {
 			cfg := base

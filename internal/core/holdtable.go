@@ -144,16 +144,20 @@ func BuildHoldTableContext(ctx context.Context, tbl *tdb.TxTable, cfg Config) (*
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// stats feeds the counting cost model: one AddItem per frequent
+	// item with its total occurrences across active granules.
+	stats := apriori.CountStats{N: nActiveTx, Granules: n}
 	var l1 []itemset.Set
-	var l1Occurrences int64
 	for x, v := range c1 {
 		if h.frequentSomewhere(v) {
 			s := itemset.Set{x}
 			l1 = append(l1, s)
 			h.counts[s.Key()] = v
+			total := 0
 			for _, c := range v {
-				l1Occurrences += int64(c)
+				total += int(c)
 			}
+			stats.AddItem(total)
 		}
 	}
 	itemset.SortSets(l1)
@@ -165,13 +169,21 @@ func BuildHoldTableContext(ctx context.Context, tbl *tdb.TxTable, cfg Config) (*
 		})
 	}
 
-	// Resolve the counting backend from the level-1 statistics: total
-	// active transactions, frequent items and their occurrences.
+	// Resolve the counting backend through the cost model, fed the
+	// exact level-1 density histogram; a forced backend keeps the
+	// prediction for its own cost so EXPLAIN can compare it to the
+	// observed time.
+	pred := apriori.Predict(stats)
 	backend := cfg.Backend
 	if backend == apriori.BackendAuto {
-		backend = apriori.ChooseAuto(nActiveTx, len(l1), l1Occurrences)
+		backend = pred.Choice
 	}
+	if trace {
+		tr.Gauge(obs.MetricCountingPredictedCost, pred.Cost(backend))
+	}
+	var countingNS int64
 	var bm *granuleBitmap
+	var rm *granuleRoaring
 
 	prev := l1
 	for k := 2; len(prev) > 1 && (cfg.MaxK == 0 || k <= cfg.MaxK); k++ {
@@ -193,12 +205,18 @@ func BuildHoldTableContext(ctx context.Context, tbl *tdb.TxTable, cfg Config) (*
 			break
 		}
 		var perGranule [][]int32
+		tc0 := time.Now()
 		switch {
 		case backend == apriori.BackendBitmap:
 			if bm == nil {
 				bm = h.buildGranuleBitmap(ctx, tbl, l1)
 			}
 			perGranule = bm.count(ctx, h, cands, cfg.Workers)
+		case backend == apriori.BackendRoaring:
+			if rm == nil {
+				rm = h.buildGranuleRoaring(ctx, tbl, l1)
+			}
+			perGranule = rm.count(ctx, h, cands, cfg.Workers)
 		case backend == apriori.BackendNaive:
 			perGranule = h.countPerGranuleNaive(ctx, tbl, cands, cfg.Workers)
 		case cfg.Workers > 1:
@@ -206,6 +224,7 @@ func BuildHoldTableContext(ctx context.Context, tbl *tdb.TxTable, cfg Config) (*
 		default:
 			perGranule, err = h.countPerGranule(ctx, tbl, cands, k)
 		}
+		countingNS += time.Since(tc0).Nanoseconds()
 		if err != nil {
 			return nil, err
 		}
@@ -234,6 +253,7 @@ func BuildHoldTableContext(ctx context.Context, tbl *tdb.TxTable, cfg Config) (*
 	if trace {
 		tr.Counter(obs.MetricItemsetsFrequent, int64(h.TotalItemsets()))
 		tr.Gauge(obs.MetricHoldCells, float64(h.TotalItemsets())*float64(h.NGranules()))
+		tr.Gauge(obs.MetricCountingObservedNS, float64(countingNS))
 	}
 	return h, nil
 }
@@ -491,18 +511,108 @@ func (g *granuleBitmap) count(ctx context.Context, h *HoldTable, cands []itemset
 		countChunk(0, len(cands))
 		return out
 	}
+	chunks := apriori.PrefixRunChunks(cands, workers)
+	if len(chunks) <= 1 {
+		countChunk(0, len(cands))
+		return out
+	}
 	var wg sync.WaitGroup
-	chunk := (len(cands) + workers - 1) / workers
-	for lo := 0; lo < len(cands); lo += chunk {
-		hi := lo + chunk
-		if hi > len(cands) {
-			hi = len(cands)
-		}
+	for _, ch := range chunks {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			countChunk(lo, hi)
-		}(lo, hi)
+		}(ch[0], ch[1])
+	}
+	wg.Wait()
+	return out
+}
+
+// granuleRoaring is granuleBitmap over the compressed container index:
+// the same row numbering and per-granule row ranges, but candidates
+// intersect through per-container kernels that skip empty containers,
+// and per-granule counts come from container range-counts.
+type granuleRoaring struct {
+	ix    *apriori.RoaringIndex
+	rowLo []int
+	rowHi []int
+}
+
+// buildGranuleRoaring mirrors buildGranuleBitmap over the compressed
+// index; see that function for the row-range construction.
+func (h *HoldTable) buildGranuleRoaring(ctx context.Context, tbl *tdb.TxTable, l1 []itemset.Set) *granuleRoaring {
+	n := h.NGranules()
+	g := &granuleRoaring{rowLo: make([]int, n), rowHi: make([]int, n)}
+	rows := 0
+	for gi := 0; gi < n; gi++ {
+		g.rowLo[gi] = rows
+		if h.Active[gi] {
+			rows += h.TxCounts[gi]
+		}
+		g.rowHi[gi] = rows
+	}
+	keep := make(map[itemset.Item]bool, len(l1))
+	for _, s := range l1 {
+		keep[s[0]] = true
+	}
+	src := apriori.FuncSource{
+		N: rows,
+		Scan: func(fn func(tx itemset.Set)) {
+			h.eachActiveTx(ctx, tbl, func(gi int, tx itemset.Set) { fn(tx) })
+		},
+	}
+	g.ix = apriori.NewRoaringIndex(src, keep)
+	return g
+}
+
+// count is granuleBitmap.count over the compressed index: chunks align
+// to prefix-run boundaries, cancellation is sampled per candidate
+// block, and each intersection is sliced into granule counts by
+// RangeCount over its containers.
+func (g *granuleRoaring) count(ctx context.Context, h *HoldTable, cands []itemset.Set, workers int) [][]int32 {
+	out := make([][]int32, len(cands))
+	for i := range out {
+		out[i] = make([]int32, h.NGranules())
+	}
+	const cancelBlock = 512
+	countChunk := func(lo, hi int) {
+		for b := lo; b < hi; b += cancelBlock {
+			if ctx.Err() != nil {
+				return
+			}
+			e := b + cancelBlock
+			if e > hi {
+				e = hi
+			}
+			g.ix.EachIntersection(cands[b:e], func(i int, acc *apriori.RoaringAcc) {
+				v := out[b+i]
+				for gi := range v {
+					if c := acc.RangeCount(g.rowLo[gi], g.rowHi[gi]); c != 0 {
+						v[gi] = int32(c)
+					}
+				}
+			})
+		}
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		countChunk(0, len(cands))
+		return out
+	}
+	chunks := apriori.PrefixRunChunks(cands, workers)
+	if len(chunks) <= 1 {
+		countChunk(0, len(cands))
+		return out
+	}
+	var wg sync.WaitGroup
+	for _, ch := range chunks {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			countChunk(lo, hi)
+		}(ch[0], ch[1])
 	}
 	wg.Wait()
 	return out

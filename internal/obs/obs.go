@@ -110,6 +110,12 @@ const (
 	MetricItemsetsFrequent = "itemsets_frequent" // frequent (or granule-frequent) itemsets (counter)
 	MetricStatements       = "statements"        // TML statements executed (counter)
 
+	// Counting cost model (apriori cost.go) events: the model's
+	// predicted cost for the backend that ran, in abstract word-op
+	// units, and the observed wall time of the counting passes.
+	MetricCountingPredictedCost = "counting_predicted_cost" // predicted cost of the chosen backend (gauge)
+	MetricCountingObservedNS    = "counting_observed_ns"    // observed counting wall time in ns (gauge)
+
 	// Hold-table cache (core.HoldCache) events.
 	MetricCacheHits          = "holdcache_hits"           // exact-threshold cache hits (counter)
 	MetricCacheRethresholds  = "holdcache_rethresholds"   // monotone re-threshold hits (counter)

@@ -31,6 +31,12 @@ type TxTable struct {
 	sorted bool
 	nextID int64
 	epoch  int64
+
+	// Cost-model statistics, cached per write epoch (see CountStats).
+	statsMu    sync.Mutex
+	statsEpoch int64
+	statsOK    bool
+	statsVal   apriori.CountStats
 }
 
 // NewTxTable creates an empty transaction table.
@@ -214,6 +220,38 @@ func (t *TxTable) All() apriori.Source {
 			}
 		},
 	}
+}
+
+// CountStats summarises the table's shape for the counting cost model
+// (internal/apriori): transaction count, distinct items, occurrences
+// and the per-item density histogram. Granules is left 0 for the
+// caller to set from its own span. The scan is cached per write epoch,
+// so repeated plan builds (EXPLAIN, then execute) cost one scan per
+// table version.
+func (t *TxTable) CountStats() apriori.CountStats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	t.mu.RLock()
+	epoch := t.epoch
+	t.mu.RUnlock()
+	if t.statsOK && t.statsEpoch == epoch {
+		return t.statsVal
+	}
+	counts := make(map[itemset.Item]int)
+	t.mu.RLock()
+	n := len(t.txs)
+	for _, tx := range t.txs {
+		for _, x := range tx.Items {
+			counts[x]++
+		}
+	}
+	t.mu.RUnlock()
+	s := apriori.CountStats{N: n}
+	for _, c := range counts {
+		s.AddItem(c)
+	}
+	t.statsVal, t.statsEpoch, t.statsOK = s, epoch, true
+	return s
 }
 
 // EachInRange iterates, in time order, only the transactions whose

@@ -116,6 +116,14 @@ func (e *Executor) ExecStmtContext(ctx context.Context, stmt *MineStmt) (*minisq
 	res := out.(*minisql.Result)
 	st := collect.Stats()
 	st.Statement = stmt.String()
+	if _, ok := st.Gauges[obs.MetricCountingObservedNS]; !ok {
+		// A cache-served hold table runs no counting; report that
+		// explicitly so EXPLAIN always carries the observed-cost line.
+		if st.Gauges == nil {
+			st.Gauges = make(map[string]float64)
+		}
+		st.Gauges[obs.MetricCountingObservedNS] = 0
+	}
 	e.mu.Lock()
 	if e.lastStats == nil {
 		e.lastStats = make(map[string]*obs.MineStats)
@@ -286,6 +294,12 @@ func (e *Executor) Explain(stmt *MineStmt) (*minisql.Result, error) {
 			if strings.HasPrefix(t.Name, "op:") {
 				add("observed: "+t.Name, fmt.Sprintf("%.1fms", float64(t.WallNS)/1e6))
 			}
+		}
+		if v, ok := st.Gauges[obs.MetricCountingPredictedCost]; ok {
+			add("observed: counting cost (predicted)", fmt.Sprintf("%.3g word-ops", v))
+		}
+		if v, ok := st.Gauges[obs.MetricCountingObservedNS]; ok {
+			add("observed: counting cost (observed)", fmt.Sprintf("%.1fms", v/1e6))
 		}
 		if n, ok := st.Counters[obs.MetricRulesEmitted]; ok {
 			add("observed: rules emitted", fmt.Sprint(n))

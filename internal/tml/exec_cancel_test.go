@@ -277,3 +277,60 @@ func TestExecMatchesExplainPlan(t *testing.T) {
 		}
 	}
 }
+
+// explainRows re-parses an EXPLAIN result into key → value lines.
+func explainRows(t *testing.T, ex *Executor, stmtSrc string) map[string][]string {
+	t.Helper()
+	stmt, err := Parse(stmtSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Explain(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]string{}
+	for _, row := range res.Rows {
+		k := row[0].AsString()
+		out[k] = append(out[k], row[1].AsString())
+	}
+	return out
+}
+
+// TestExplainCountingCost: every MINE plan carries the cost model's
+// predicted backend and predicted cost, and once the statement has
+// run EXPLAIN also reports the observed counting cost — including the
+// explicit zero of a cache-served run.
+func TestExplainCountingCost(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	const stmt = `MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 1.0 LIMIT 10`
+
+	plan := strings.Join(planLines(t, ex, stmt), "\n")
+	for _, want := range []string{"predicted_backend=", "predicted_cost="} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("cold plan missing %q:\n%s", want, plan)
+		}
+	}
+
+	if _, err := ex.Exec(stmt); err != nil {
+		t.Fatal(err)
+	}
+	rows := explainRows(t, ex, stmt)
+	if v := rows["observed: counting cost (predicted)"]; len(v) != 1 || !strings.Contains(v[0], "word-ops") {
+		t.Errorf("predicted counting cost line = %q", v)
+	}
+	if v := rows["observed: counting cost (observed)"]; len(v) != 1 || !strings.HasSuffix(v[0], "ms") {
+		t.Errorf("observed counting cost line = %q", v)
+	}
+
+	// A second run is served from the hold-table cache and does no
+	// counting; the observed line must still appear, reporting 0.
+	if _, err := ex.Exec(stmt); err != nil {
+		t.Fatal(err)
+	}
+	rows = explainRows(t, ex, stmt)
+	if v := rows["observed: counting cost (observed)"]; len(v) != 1 || v[0] != "0.0ms" {
+		t.Errorf("cache-served observed counting cost = %q, want 0.0ms", v)
+	}
+}

@@ -149,9 +149,10 @@ func LoadTxTableSegmented(dir string) (*TxTable, SegmentConfig, error) {
 func NewMemDB() *DB { return tdb.NewMemDB() }
 
 // CountingBackend selects the support-counting strategy of the miners:
-// BackendAuto picks per run from the data shape, BackendBitmap is the
-// vertical TID-bitmap backend, BackendHashTree the classic Apriori hash
-// tree and BackendNaive the reference subset test. Set it on
+// BackendAuto picks per run with a cost model over the data shape,
+// BackendBitmap is the vertical TID-bitmap backend, BackendRoaring its
+// compressed-container variant, BackendHashTree the classic Apriori
+// hash tree and BackendNaive the reference subset test. Set it on
 // Config.Backend (temporal tasks) or choose it via the -backend flag of
 // the CLI front ends.
 type CountingBackend = apriori.Backend
@@ -162,10 +163,11 @@ const (
 	BackendNaive    = apriori.BackendNaive
 	BackendHashTree = apriori.BackendHashTree
 	BackendBitmap   = apriori.BackendBitmap
+	BackendRoaring  = apriori.BackendRoaring
 )
 
 // ParseBackend parses a backend name ("auto", "naive", "hashtree",
-// "bitmap") as used by the -backend CLI flag.
+// "bitmap", "roaring") as used by the -backend CLI flag.
 func ParseBackend(s string) (CountingBackend, error) { return apriori.ParseBackend(s) }
 
 // Mining configuration.
