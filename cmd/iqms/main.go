@@ -13,6 +13,7 @@
 //
 //	sql> SELECT item, COUNT(*) FROM baskets GROUP BY item;
 //	sql> MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.05 CONFIDENCE 0.6;
+//	sql> \trace     # span tree of the statement that just ran
 //	sql> \tables    \help    \quit
 package main
 
@@ -104,6 +105,12 @@ type execOpts struct {
 	intr    *interrupts   // Ctrl-C routing; nil = default signal handling
 }
 
+// replState is the REPL's cross-statement memory: the trace of the
+// statement that last ran (complete or interrupted), shown by \trace.
+type replState struct {
+	lastTrace *obs.Trace
+}
+
 // interrupts routes SIGINT to the running statement: in an interactive
 // session Ctrl-C cancels the statement in flight — the session itself
 // stays up — and when nothing is running it just prints a hint, so the
@@ -155,6 +162,7 @@ func (i *interrupts) disarm() {
 func run(session *tml.Session, db *tdb.DB, r io.Reader, w, errw io.Writer, interactive bool, opts execOpts) error {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	state := &replState{}
 	var buf strings.Builder
 	prompt := func() {
 		if interactive {
@@ -170,7 +178,7 @@ func run(session *tml.Session, db *tdb.DB, r io.Reader, w, errw io.Writer, inter
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			done, err := metaCommand(trimmed, session, db, w)
+			done, err := metaCommand(trimmed, session, db, w, state)
 			if err != nil {
 				if !interactive {
 					return err
@@ -195,7 +203,7 @@ func run(session *tml.Session, db *tdb.DB, r io.Reader, w, errw io.Writer, inter
 		}
 		stmt := strings.TrimSpace(buf.String())
 		buf.Reset()
-		if err := execOne(session, stmt, w, opts); err != nil {
+		if err := execOne(session, stmt, w, opts, state); err != nil {
 			if !interactive {
 				return err
 			}
@@ -214,7 +222,7 @@ func run(session *tml.Session, db *tdb.DB, r io.Reader, w, errw io.Writer, inter
 // exactly the statement's duration. A cancelled mining statement
 // returns context.Canceled (or DeadlineExceeded) as an ordinary error,
 // which the interactive loop prints before the next prompt.
-func execOne(session *tml.Session, stmt string, w io.Writer, opts execOpts) error {
+func execOne(session *tml.Session, stmt string, w io.Writer, opts execOpts, state *replState) error {
 	ctx := context.Background()
 	if opts.timeout > 0 {
 		var cancel context.CancelFunc
@@ -228,6 +236,12 @@ func execOne(session *tml.Session, stmt string, w io.Writer, opts execOpts) erro
 		opts.intr.arm(cancel)
 		defer opts.intr.disarm()
 	}
+	// Every statement runs under a fresh request-scoped trace; \trace
+	// renders the last one — including a failed or interrupted
+	// statement's partial tree, which is when a trace matters most.
+	trace := obs.NewTrace("")
+	ctx = obs.ContextWithTrace(ctx, trace)
+	state.lastTrace = trace
 	res, err := session.ExecContext(ctx, stmt)
 	if err != nil {
 		return err
@@ -238,10 +252,17 @@ func execOne(session *tml.Session, stmt string, w io.Writer, opts execOpts) erro
 
 // metaCommand handles \-commands; it reports whether the session
 // should end.
-func metaCommand(cmd string, session *tml.Session, db *tdb.DB, w io.Writer) (quit bool, err error) {
+func metaCommand(cmd string, session *tml.Session, db *tdb.DB, w io.Writer, state *replState) (quit bool, err error) {
 	switch fields := strings.Fields(cmd); fields[0] {
 	case "\\quit", "\\q":
 		return true, nil
+	case "\\trace":
+		if state.lastTrace == nil {
+			fmt.Fprintln(w, "no statement has run yet")
+			return false, nil
+		}
+		state.lastTrace.WriteText(w)
+		return false, nil
 	case "\\cache":
 		st := session.TML.Cache.Stats()
 		if st.MaxBytes == 0 {
@@ -290,7 +311,8 @@ TML:  MINE RULES FROM t [DURING '<pattern>'] THRESHOLD SUPPORT s CONFIDENCE c [F
       EXPLAIN MINE ...;
 Patterns: month in (jun..aug) | weekday in (sat,sun) | every 7 offset 2 |
           between 1998-01-01 and 1998-06-30 | and/or/not combinations
-Meta: \tables  \save  \cache  \import <table> <file.csv>  \export <table> <file.csv>  \help  \quit
+Meta: \tables  \save  \cache  \trace  \import <table> <file.csv>  \export <table> <file.csv>  \help  \quit
+      \trace shows the span tree of the last statement (operators, hold-table build, counting passes).
 CSV:  transaction tables use "timestamp,item1;item2"; relational tables a header row.
 `)
 		return false, nil

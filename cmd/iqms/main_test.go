@@ -81,7 +81,7 @@ func TestMetaCommands(t *testing.T) {
 	db := testDB(t)
 	var out strings.Builder
 
-	quit, err := metaCommand(`\tables`, tml.NewSession(db), db, &out)
+	quit, err := metaCommand(`\tables`, tml.NewSession(db), db, &out, &replState{})
 	if err != nil || quit {
 		t.Fatalf("\\tables: %v, quit=%v", err, quit)
 	}
@@ -89,23 +89,23 @@ func TestMetaCommands(t *testing.T) {
 		t.Errorf("\\tables output: %q", out.String())
 	}
 
-	quit, err = metaCommand(`\q`, tml.NewSession(db), db, &out)
+	quit, err = metaCommand(`\q`, tml.NewSession(db), db, &out, &replState{})
 	if err != nil || !quit {
 		t.Errorf("\\q: %v, quit=%v", err, quit)
 	}
 
 	out.Reset()
-	quit, err = metaCommand(`\help`, tml.NewSession(db), db, &out)
+	quit, err = metaCommand(`\help`, tml.NewSession(db), db, &out, &replState{})
 	if err != nil || quit || !strings.Contains(out.String(), "MINE RULES") {
 		t.Errorf("\\help broken: %v %q", err, out.String())
 	}
 
-	if _, err := metaCommand(`\bogus`, tml.NewSession(db), db, &out); err == nil {
+	if _, err := metaCommand(`\bogus`, tml.NewSession(db), db, &out, &replState{}); err == nil {
 		t.Error("unknown meta command accepted")
 	}
 
 	// \save on a memory DB must fail cleanly.
-	if _, err := metaCommand(`\save`, tml.NewSession(db), db, &out); err == nil {
+	if _, err := metaCommand(`\save`, tml.NewSession(db), db, &out, &replState{}); err == nil {
 		t.Error("\\save on memory DB succeeded")
 	}
 }
@@ -117,10 +117,10 @@ func TestImportExportCSV(t *testing.T) {
 
 	// Export the fixture, then import into a fresh table.
 	exportPath := dir + "/out.csv"
-	if _, err := metaCommand(`\export baskets `+exportPath, tml.NewSession(db), db, &out); err != nil {
+	if _, err := metaCommand(`\export baskets `+exportPath, tml.NewSession(db), db, &out, &replState{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := metaCommand(`\import copied `+exportPath, tml.NewSession(db), db, &out); err != nil {
+	if _, err := metaCommand(`\import copied `+exportPath, tml.NewSession(db), db, &out, &replState{}); err != nil {
 		t.Fatal(err)
 	}
 	copied, ok := db.TxTable("copied")
@@ -132,13 +132,13 @@ func TestImportExportCSV(t *testing.T) {
 	}
 
 	// Errors: bad arity, missing file, export of unknown table.
-	if _, err := metaCommand(`\import onlytable`, tml.NewSession(db), db, &out); err == nil {
+	if _, err := metaCommand(`\import onlytable`, tml.NewSession(db), db, &out, &replState{}); err == nil {
 		t.Error("bad arity accepted")
 	}
-	if _, err := metaCommand(`\import t `+dir+`/nope.csv`, tml.NewSession(db), db, &out); err == nil {
+	if _, err := metaCommand(`\import t `+dir+`/nope.csv`, tml.NewSession(db), db, &out, &replState{}); err == nil {
 		t.Error("missing file accepted")
 	}
-	if _, err := metaCommand(`\export nosuch `+dir+`/x.csv`, tml.NewSession(db), db, &out); err == nil {
+	if _, err := metaCommand(`\export nosuch `+dir+`/x.csv`, tml.NewSession(db), db, &out, &replState{}); err == nil {
 		t.Error("export of unknown table accepted")
 	}
 }

@@ -6,13 +6,16 @@
 //
 //	tarmd -db ./data -addr :8440
 //	tarmd -db ./data -addr :8440 -pool 8 -queue 16 -timeout 30s -cache 256
+//	tarmd -db ./data -slow-query 2s -journal 256 -journal-log queries.jsonl
 //	curl -d 'MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.1 CONFIDENCE 0.6;' \
 //	     'http://localhost:8440/v1/statements?format=text'
 //
 // The same port serves the observability endpoints (/metrics,
-// /debug/vars, /debug/pprof). SIGINT/SIGTERM drains gracefully: new
-// statements get 503, in-flight statements finish (up to -drain),
-// then the listener closes.
+// /debug/vars, /debug/pprof) and the query introspection endpoints
+// (/v1/queries, /v1/queries/{id}, /v1/cache): every statement is
+// traced under its X-Request-ID and journalled. SIGINT/SIGTERM drains
+// gracefully: new statements get 503, in-flight statements finish (up
+// to -drain), then the listener closes.
 package main
 
 import (
@@ -49,6 +52,7 @@ func run() error {
 	mf.RegisterMining(fs)
 	mf.RegisterTimeout(fs)
 	mf.RegisterCache(fs)
+	mf.RegisterJournal(fs)
 	flag.Parse()
 
 	if *dbDir == "" {
@@ -58,19 +62,32 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	sink, err := mf.JournalSink()
+	if err != nil {
+		return err
+	}
+	if sink != nil {
+		defer sink.Close()
+	}
 	db, err := tdb.Open(*dbDir)
 	if err != nil {
 		return err
 	}
 
-	srv := server.New(db, server.Config{
-		Pool:       *pool,
-		Queue:      *queue,
-		Timeout:    mf.Timeout,
-		Backend:    backend,
-		Workers:    mf.Workers,
-		CacheBytes: mf.CacheBytes(),
-	})
+	cfg := server.Config{
+		Pool:        *pool,
+		Queue:       *queue,
+		Timeout:     mf.Timeout,
+		Backend:     backend,
+		Workers:     mf.Workers,
+		CacheBytes:  mf.CacheBytes(),
+		JournalSize: mf.JournalSize,
+		SlowQuery:   mf.SlowQuery,
+	}
+	if sink != nil {
+		cfg.JournalSink = sink
+	}
+	srv := server.New(db, cfg)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)

@@ -7,6 +7,7 @@
 //	tarmine -db ./data -e "MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.1 CONFIDENCE 0.6"
 //	tarmine -db ./data -e "MINE ..." -stats stats.json   # dump mining telemetry
 //	tarmine -db ./data -e "MINE ..." -progress           # live per-pass progress on stderr
+//	tarmine -db ./data -e "MINE ..." -trace              # span tree of the run on stderr
 //	tarmine -experiment e1          # one experiment
 //	tarmine -experiment all         # the full suite (slow)
 //	tarmine -backend bitmap -workers 4 -experiment e2
@@ -37,6 +38,7 @@ func main() {
 	jsonPath := flag.String("json", "", "with -experiment: also write the result tables as JSON to this file ('-' = stdout)")
 	statsPath := flag.String("stats", "", "write mining telemetry JSON to this file ('-' = stdout; the result table then goes to stderr)")
 	progress := flag.Bool("progress", false, "render per-pass mining progress to stderr")
+	traceFlag := flag.Bool("trace", false, "render the statement's span tree to stderr after the run")
 	mf.RegisterMining(flag.CommandLine)
 	mf.RegisterTimeout(flag.CommandLine)
 	flag.Parse()
@@ -80,9 +82,17 @@ func main() {
 		}
 		ctx, cancel := mf.StatementContext(context.Background())
 		defer cancel()
+		var trace *obs.Trace
+		if *traceFlag {
+			trace = obs.NewTrace("")
+			ctx = obs.ContextWithTrace(ctx, trace)
+		}
 		if err := execStatement(ctx, *dbDir, *stmt, backend, mf.Workers, out, obs.Multi(tracers...)); err != nil {
 			fmt.Fprintln(os.Stderr, "tarmine:", err)
 			os.Exit(1)
+		}
+		if trace != nil {
+			trace.WriteText(os.Stderr)
 		}
 		if collect != nil {
 			if err := writeStats(*statsPath, *stmt, collect.Stats()); err != nil {
@@ -117,9 +127,12 @@ func execStatement(ctx context.Context, dbDir, stmt string, backend apriori.Back
 }
 
 // writeStats dumps the collected MineStats as indented JSON; "-" writes
-// to stdout.
+// to stdout. The summary block (p50/p95/p99 over pass and operator
+// durations) is computed here, at the edge, so the collector stays a
+// pure accumulator.
 func writeStats(path, stmt string, st *obs.MineStats) error {
 	st.Statement = stmt
+	st.Summarize()
 	buf, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		return err

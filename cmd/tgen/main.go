@@ -74,6 +74,7 @@ func generate(out, table string, days int, granName string, txPer, items, patter
 	if err != nil {
 		return err
 	}
+	t0 := time.Now()
 	// Intern background item names first so generated ids resolve.
 	for i := 0; i < items; i++ {
 		db.Dict().Intern(fmt.Sprintf("item%04d", i))
@@ -111,8 +112,10 @@ func generate(out, table string, days int, granName string, txPer, items, patter
 		return err
 	}
 	name := gen.Name(cfg.Quest, dst.Len())
-	fmt.Printf("wrote %s: %d transactions into %s/%s (%d planted rules)\n",
-		name, dst.Len(), out, table, len(cfg.Rules))
+	elapsed := time.Since(t0)
+	rate := float64(dst.Len()) / elapsed.Seconds()
+	fmt.Printf("wrote %s: %d transactions into %s/%s (%d planted rules) in %.2fs (%.0f tx/s)\n",
+		name, dst.Len(), out, table, len(cfg.Rules), elapsed.Seconds(), rate)
 	return nil
 }
 

@@ -23,10 +23,13 @@ import (
 // Flag usage strings, shared verbatim by every binary that registers
 // the flag.
 const (
-	backendUsage = "counting backend: auto, naive, hashtree, bitmap or roaring"
-	workersUsage = "parallel counting workers (0 = sequential)"
-	timeoutUsage = "abort any single statement after this long, e.g. 30s (0 = no limit)"
-	cacheUsage   = "hold-table cache budget in MB (0 = disable caching)"
+	backendUsage    = "counting backend: auto, naive, hashtree, bitmap or roaring"
+	workersUsage    = "parallel counting workers (0 = sequential)"
+	timeoutUsage    = "abort any single statement after this long, e.g. 30s (0 = no limit)"
+	cacheUsage      = "hold-table cache budget in MB (0 = disable caching)"
+	journalUsage    = "query-journal ring size in statements (0 = default 128, -1 = disable)"
+	slowQueryUsage  = "log a structured warning for statements slower than this, e.g. 2s (0 = off)"
+	journalLogUsage = "append every completed statement as a JSON line to this file"
 )
 
 // MiningFlags is the cross-binary flag bundle. Zero value + Register*
@@ -40,6 +43,12 @@ type MiningFlags struct {
 	Timeout time.Duration
 	// CacheMB is the -cache value in megabytes.
 	CacheMB int
+	// JournalSize is the -journal value (ring capacity; -1 disables).
+	JournalSize int
+	// SlowQuery is the -slow-query value (0 = off).
+	SlowQuery time.Duration
+	// JournalLog is the -journal-log value (JSONL sink path).
+	JournalLog string
 }
 
 // RegisterMining adds -backend and -workers, the knobs of the counting
@@ -60,8 +69,29 @@ func (f *MiningFlags) RegisterCache(fs *flag.FlagSet) {
 	fs.IntVar(&f.CacheMB, "cache", int(core.DefaultCacheBytes>>20), cacheUsage)
 }
 
-// Backend resolves -backend, with the same error text in every binary.
+// RegisterJournal adds -journal, -slow-query and -journal-log, the
+// query-journal knobs of the serving front end.
+func (f *MiningFlags) RegisterJournal(fs *flag.FlagSet) {
+	fs.IntVar(&f.JournalSize, "journal", 0, journalUsage)
+	fs.DurationVar(&f.SlowQuery, "slow-query", 0, slowQueryUsage)
+	fs.StringVar(&f.JournalLog, "journal-log", "", journalLogUsage)
+}
+
+// JournalSink opens the -journal-log sink for appending, or returns
+// (nil, nil) when the flag is unset. The caller owns the returned file.
+func (f *MiningFlags) JournalSink() (*os.File, error) {
+	if f.JournalLog == "" {
+		return nil, nil
+	}
+	return os.OpenFile(f.JournalLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Backend resolves -backend (and checks -workers, registered by the
+// same RegisterMining call), with the same error text in every binary.
 func (f *MiningFlags) Backend() (apriori.Backend, error) {
+	if f.Workers < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0 (got %d)", f.Workers)
+	}
 	return apriori.ParseBackend(f.BackendName)
 }
 

@@ -134,6 +134,48 @@ func (c *HoldCache) Stats() CacheStats {
 	return st
 }
 
+// EntryInfo is the introspection view of one resident cache entry,
+// JSON-shaped for tarmd's GET /v1/cache.
+type EntryInfo struct {
+	Table        string  `json:"table"`
+	Granularity  string  `json:"granularity"`
+	MinGranuleTx int     `json:"min_granule_tx,omitempty"`
+	Epoch        int64   `json:"epoch"`
+	BuildSupport float64 `json:"build_support"`
+	MaxK         int     `json:"max_k"` // 0 = unbounded
+	Bytes        int64   `json:"bytes"`
+	Cells        int64   `json:"cells"`
+	Itemsets     int     `json:"itemsets"`
+	Granules     int     `json:"granules"`
+}
+
+// Entries snapshots the resident entries, most recently used first.
+// Safe on nil.
+func (c *HoldCache) Entries() []EntryInfo {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EntryInfo, 0, c.lru.Len())
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		ent := e.Value.(*cacheEntry)
+		out = append(out, EntryInfo{
+			Table:        ent.key.table,
+			Granularity:  ent.key.granularity.String(),
+			MinGranuleTx: ent.key.minGranuleTx,
+			Epoch:        ent.epoch,
+			BuildSupport: ent.buildSupport,
+			MaxK:         ent.maxK,
+			Bytes:        ent.bytes,
+			Cells:        ent.cells,
+			Itemsets:     ent.h.TotalItemsets(),
+			Granules:     ent.h.NGranules(),
+		})
+	}
+	return out
+}
+
 // maxKCovers reports whether a build bounded to have (0 = unbounded)
 // contains every level a query bounded to want needs.
 func maxKCovers(have, want int) bool {

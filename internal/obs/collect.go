@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -46,6 +47,64 @@ type MineStats struct {
 	Gauges   map[string]float64 `json:"gauges,omitempty"`
 	// WallNS is the total wall time of the outermost task spans.
 	WallNS int64 `json:"wall_ns"`
+	// Summary holds p50/p95/p99 latency summaries over the run's pass
+	// and operator durations; filled by Summarize.
+	Summary map[string]LatencySummary `json:"summary,omitempty"`
+}
+
+// LatencySummary is the p50/p95/p99 of a set of sampled durations.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// summarize computes a nearest-rank quantile summary over samples
+// given in nanoseconds.
+func summarize(ns []int64) LatencySummary {
+	if len(ns) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return float64(sorted[i]) / 1e6
+	}
+	return LatencySummary{
+		Count: len(sorted),
+		P50MS: rank(0.50),
+		P95MS: rank(0.95),
+		P99MS: rank(0.99),
+	}
+}
+
+// Summarize fills Summary with latency quantiles over the counting
+// passes ("pass") and the plan operator spans ("op").
+func (m *MineStats) Summarize() {
+	var passes, ops []int64
+	for _, l := range m.Levels {
+		passes = append(passes, l.WallNS)
+	}
+	for _, t := range m.Tasks {
+		if len(t.Name) > 3 && t.Name[:3] == "op:" {
+			ops = append(ops, t.WallNS)
+		}
+	}
+	m.Summary = make(map[string]LatencySummary, 2)
+	if len(passes) > 0 {
+		m.Summary["pass"] = summarize(passes)
+	}
+	if len(ops) > 0 {
+		m.Summary["op"] = summarize(ops)
+	}
 }
 
 // Level returns the stats of pass k, or nil.
@@ -115,6 +174,22 @@ func (c *CollectTracer) EndTask() {
 	c.stats.Tasks = append(c.stats.Tasks, TaskStats{Name: s.name, WallNS: d})
 	if len(c.spans) == 0 {
 		c.stats.WallNS += d
+	}
+}
+
+// ObserveSpan implements SpanObserver: the plan executor reports each
+// operator's caller-timed duration here, and it replaces the duration
+// the collector measured for the most recent task span of that name —
+// so -stats JSON, EXPLAIN's observed section and the span tree all
+// agree to the nanosecond.
+func (c *CollectTracer) ObserveSpan(name string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.stats.Tasks) - 1; i >= 0; i-- {
+		if c.stats.Tasks[i].Name == name {
+			c.stats.Tasks[i].WallNS = d.Nanoseconds()
+			return
+		}
 	}
 }
 

@@ -83,6 +83,35 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed samples.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts by linear interpolation inside the target bucket, the same
+// estimate Prometheus's histogram_quantile computes server-side.
+// Samples in the +Inf bucket clamp to the last finite bound; an empty
+// histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, ub := range h.bounds {
+		n := h.buckets[i].Load()
+		if float64(cum+n) >= rank {
+			lb := 0.0
+			if i > 0 {
+				lb = h.bounds[i-1]
+			}
+			if n == 0 {
+				return ub
+			}
+			return lb + (ub-lb)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Registry is a process-wide set of named metrics. All operations are
 // safe for concurrent use; reads during writes see a consistent
 // point-in-time value per metric.
@@ -229,6 +258,13 @@ func (r *Registry) WriteProm(w io.Writer) {
 		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
 		fmt.Fprintf(w, "%s_sum %g\n", pn, h.Sum())
 		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count())
+		// Pre-computed quantile summaries, so operators without a
+		// Prometheus server (curl /metrics) still see tail latency.
+		if h.Count() > 0 {
+			fmt.Fprintf(w, "# TYPE %s_p50 gauge\n%s_p50 %g\n", pn, pn, h.Quantile(0.50))
+			fmt.Fprintf(w, "# TYPE %s_p95 gauge\n%s_p95 %g\n", pn, pn, h.Quantile(0.95))
+			fmt.Fprintf(w, "# TYPE %s_p99 gauge\n%s_p99 %g\n", pn, pn, h.Quantile(0.99))
+		}
 	}
 }
 

@@ -132,6 +132,15 @@ func Execute(ctx context.Context, root *Node, tr obs.Tracer) (any, []OpStat, err
 		span := obs.OpSpan(n.Op)
 		if trace {
 			tr.StartTask(span)
+			// A request-scoped trace gets each operator's EXPLAIN
+			// details as span attributes, so the span tree carries the
+			// same predicted-backend/threshold annotations EXPLAIN
+			// prints.
+			if t := obs.TraceFromContext(ctx); t != nil {
+				for _, kv := range n.Detail {
+					t.SetAttr(kv.Key, kv.Val)
+				}
+			}
 		}
 		t0 := time.Now()
 		out, err := n.Run(ctx, in)

@@ -23,15 +23,27 @@
 //     telemetry all land in one obs.Registry, served on the same mux
 //     (/metrics, /debug/vars, /debug/pprof).
 //
+// Every request is traced: the server generates (or propagates) an
+// X-Request-ID, echoes it on every response — including 429/503/504 —
+// and attaches a request-scoped obs.Trace to the context, so a
+// statement's execution leaves a span tree (operators, hold-table
+// build, counting passes) keyed by that ID. Completed statements land
+// in a bounded query journal; both are served live:
+//
 // Endpoints:
 //
-//	POST /v1/statements   execute one MINE or EXPLAIN MINE statement
-//	GET  /v1/tables       list tables (name, kind, rows)
-//	GET  /healthz         liveness + pool occupancy
+//	POST /v1/statements    execute one MINE or EXPLAIN MINE statement
+//	GET  /v1/tables        list tables (name, kind, rows)
+//	GET  /v1/queries       recent statements + statements in flight
+//	GET  /v1/queries/{id}  one statement (by request ID or seq) with
+//	                       its full span tree
+//	GET  /v1/cache         hold-table cache stats + resident entries
+//	GET  /healthz          liveness + pool occupancy
 //
 // POST bodies are JSON ({"statement": "...", "timeout_ms": 0}) or raw
 // text. Responses are JSON; ?format=text returns the same aligned
-// table tarmine prints, byte for byte.
+// table tarmine prints, byte for byte. Errors are a JSON body
+// {error, request_id, retry_after_ms?} on every status path.
 package server
 
 import (
@@ -99,6 +111,16 @@ type Config struct {
 	// Tracer, when set, additionally receives every statement's mining
 	// telemetry (tests hook the pass stream through this).
 	Tracer obs.Tracer
+	// JournalSize is the query-journal ring capacity in completed
+	// statements (0 = obs.DefaultJournalSize, < 0 disables the
+	// journal; the introspection endpoints then serve empty views).
+	JournalSize int
+	// SlowQuery, when positive, logs a structured warning line for
+	// every statement slower than this.
+	SlowQuery time.Duration
+	// JournalSink, when set, receives every completed statement record
+	// as one JSON line (an audit/replay log).
+	JournalSink io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -123,11 +145,12 @@ func (c Config) withDefaults() Config {
 // Server is the tarmd HTTP front end. It is an http.Handler; run it
 // under any http.Server and call Drain before exiting.
 type Server struct {
-	cfg  Config
-	db   *tdb.DB
-	exec *tml.Executor
-	reg  *obs.Registry
-	mux  *http.ServeMux
+	cfg     Config
+	db      *tdb.DB
+	exec    *tml.Executor
+	reg     *obs.Registry
+	mux     *http.ServeMux
+	journal *obs.Journal
 
 	sem      chan struct{} // pool slots
 	admitted atomic.Int64  // statements admitted and not yet finished
@@ -153,12 +176,23 @@ func New(db *tdb.DB, cfg Config) *Server {
 	s.exec.Workers = cfg.Workers
 	s.exec.Cache = core.NewHoldCache(cfg.CacheBytes)
 	s.exec.Tracer = obs.Multi(obs.NewRegistryTracer(s.reg, ""), cfg.Tracer)
+	if cfg.JournalSize >= 0 {
+		s.journal = obs.NewJournal(obs.JournalConfig{
+			Size:          cfg.JournalSize,
+			SlowThreshold: cfg.SlowQuery,
+			Sink:          cfg.JournalSink,
+		})
+	}
+	s.exec.Journal = s.journal
 
 	// The statement endpoints share the mux with the observability
 	// endpoints, so one port serves both traffic and diagnostics.
 	s.mux = obs.DebugMux(s.reg)
 	s.mux.HandleFunc("POST /v1/statements", s.handleStatement)
 	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
+	s.mux.HandleFunc("GET /v1/queries", s.handleQueries)
+	s.mux.HandleFunc("GET /v1/queries/{id}", s.handleQueryByID)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -170,8 +204,45 @@ func (s *Server) Executor() *tml.Executor { return s.exec }
 // Registry returns the metrics registry the server publishes to.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Journal returns the query journal (nil when disabled).
+func (s *Server) Journal() *obs.Journal { return s.journal }
+
+// ServeHTTP implements http.Handler: the request-ID middleware around
+// the mux. Every request gets an X-Request-ID — the client's, when it
+// sent a well-formed one, else a fresh trace ID — echoed on the
+// response whatever the status, and a request-scoped trace in the
+// context under that ID, which the executor turns into the statement's
+// span tree.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+	if rid == "" {
+		rid = obs.NewTraceID()
+	}
+	// Set before dispatch so rejection paths (429/503/504, even a mux
+	// 404) carry the ID too.
+	w.Header().Set("X-Request-ID", rid)
+	r = r.WithContext(obs.ContextWithTrace(r.Context(), obs.NewTrace(rid)))
+	s.mux.ServeHTTP(w, r)
+}
+
+// sanitizeRequestID accepts client-supplied IDs made of unreserved
+// header-safe characters, capped at 64; anything else is discarded (a
+// fresh ID is generated) rather than reflected into logs and traces.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
 
 // Drain stops admitting statements (they get 503 + Retry-After) and
 // waits for the ones in flight to finish, or for ctx to expire. It is
@@ -214,14 +285,21 @@ type statementRequest struct {
 // rendered exactly as the CLI displays them) plus timing.
 type statementResponse struct {
 	Statement string     `json:"statement"`
+	RequestID string     `json:"request_id,omitempty"`
 	Cols      []string   `json:"cols"`
 	Rows      [][]string `json:"rows"`
 	RowCount  int        `json:"row_count"`
 	WallMS    float64    `json:"wall_ms"`
 }
 
+// errorResponse is the uniform error body of every non-2xx status
+// path: the message, the request ID for cross-referencing logs and
+// traces, and — on backpressure rejections (429/503) — the Retry-After
+// hint in milliseconds.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	RequestID    string `json:"request_id,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 // maxBody bounds statement bodies; TML statements are lines, not blobs.
@@ -302,6 +380,7 @@ func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := statementResponse{
 		Statement: req.Statement,
+		RequestID: w.Header().Get("X-Request-ID"),
 		Cols:      res.Cols,
 		Rows:      displayRows(res),
 		RowCount:  len(res.Rows),
@@ -411,6 +490,77 @@ func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
+// queriesView is the GET /v1/queries answer: what is running now and
+// what ran recently (newest first, span trees stripped — fetch one by
+// ID for its tree).
+type queriesView struct {
+	Inflight []obs.InflightInfo `json:"inflight"`
+	Recent   []*obs.QueryRecord `json:"recent"`
+	Total    int64              `json:"total"` // completed since startup
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	n := 0 // all retained
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	view := queriesView{
+		Inflight: s.journal.InFlight(),
+		Recent:   s.journal.Recent(n),
+		Total:    s.journal.Total(),
+	}
+	if view.Inflight == nil {
+		view.Inflight = []obs.InflightInfo{}
+	}
+	if view.Recent == nil {
+		view.Recent = []*obs.QueryRecord{}
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// inflightView is GET /v1/queries/{id} for a statement still running:
+// the live in-flight row plus a snapshot of its partial span tree.
+type inflightView struct {
+	obs.InflightInfo
+	Spans []*obs.SpanNode `json:"spans,omitempty"`
+}
+
+func (s *Server) handleQueryByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, live := s.journal.Get(id)
+	switch {
+	case rec != nil:
+		writeJSON(w, http.StatusOK, rec)
+	case live != nil:
+		writeJSON(w, http.StatusOK, inflightView{
+			InflightInfo: *live,
+			Spans:        s.journal.InFlightTrace(id).Tree(),
+		})
+	default:
+		s.reject(w, http.StatusNotFound, fmt.Sprintf("tarmd: no query %q in the journal", id))
+	}
+}
+
+// cacheView is the GET /v1/cache answer: the shared hold-table cache's
+// counters plus its resident entries, most recently used first.
+type cacheView struct {
+	Stats   core.CacheStats  `json:"stats"`
+	Entries []core.EntryInfo `json:"entries"`
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, _ *http.Request) {
+	view := cacheView{
+		Stats:   s.exec.Cache.Stats(),
+		Entries: s.exec.Cache.Entries(),
+	}
+	if view.Entries == nil {
+		view.Entries = []core.EntryInfo{}
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
 type healthz struct {
 	Status   string `json:"status"` // "ok" or "draining"
 	Inflight int64  `json:"inflight"`
@@ -440,8 +590,18 @@ func (s *Server) gauges() {
 	s.reg.Gauge(MetricQueueDepth).Set(float64(queued))
 }
 
+// reject writes the uniform JSON error body. The request ID comes from
+// the response header the middleware set; a Retry-After header already
+// set by the caller (the 429/503 paths) is mirrored into the body in
+// milliseconds so JSON clients need not parse headers.
 func (s *Server) reject(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorResponse{Error: msg})
+	resp := errorResponse{Error: msg, RequestID: w.Header().Get("X-Request-ID")}
+	if ra := w.Header().Get("Retry-After"); ra != "" {
+		if secs, err := strconv.ParseInt(ra, 10, 64); err == nil {
+			resp.RetryAfterMS = secs * 1000
+		}
+	}
+	writeJSON(w, code, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -46,6 +46,11 @@ type Executor struct {
 	// caching (every statement rebuilds). NewExecutor installs a
 	// default-sized cache; front ends resize it from their -cache flag.
 	Cache *core.HoldCache
+	// Journal, when set, records every statement: in-flight while it
+	// runs, then as a completed record (cache outcome, backends, costs,
+	// per-operator wall times, counts, error) in the bounded ring. The
+	// tarmd server installs one; nil disables journalling.
+	Journal *obs.Journal
 
 	mu        sync.Mutex
 	lastStats map[string]*obs.MineStats // per table, most recent run
@@ -91,9 +96,18 @@ func (e *Executor) ExecStmtContext(ctx context.Context, stmt *MineStmt) (*minisq
 		return nil, fmt.Errorf("tml: no transaction table named %q", stmt.Table)
 	}
 	// Every statement is collected so EXPLAIN can show observed stats;
-	// the configured Tracer (metrics, progress) rides along.
+	// the request-scoped trace (when the context carries one) and the
+	// configured Tracer (metrics, progress) ride along on the same
+	// event stream, so the span tree is built with zero extra plumbing
+	// through the miners.
+	trace := obs.TraceFromContext(ctx)
+	fl := e.Journal.Begin(trace, stmt.String(), taskKey(stmt))
 	collect := obs.NewCollectTracer()
-	tr := obs.Multi(collect, e.Tracer)
+	tr := obs.Multi(collect, trace, e.Tracer)
+	tr.StartTask(obs.SpanStatement)
+	trace.SetAttr("statement", stmt.String())
+	trace.SetAttr("task", taskKey(stmt))
+	trace.SetAttr("table", stmt.Table)
 	tr.Counter(obs.MetricStatements, 1)
 	cfg := core.Config{
 		Granularity:   stmt.Granularity,
@@ -107,10 +121,14 @@ func (e *Executor) ExecStmtContext(ctx context.Context, stmt *MineStmt) (*minisq
 	}
 	root, err := e.buildPlan(tbl, stmt, cfg)
 	if err != nil {
+		tr.EndTask()
+		fl.End(obs.QueryOutcome{Err: err})
 		return nil, err
 	}
-	out, _, err := plan.Execute(ctx, root, tr)
+	out, ops, err := plan.Execute(ctx, root, tr)
+	tr.EndTask()
 	if err != nil {
+		fl.End(queryOutcome(root, collect.Stats(), ops, nil, err))
 		return nil, err
 	}
 	res := out.(*minisql.Result)
@@ -130,7 +148,68 @@ func (e *Executor) ExecStmtContext(ctx context.Context, stmt *MineStmt) (*minisq
 	}
 	e.lastStats[stmt.Table] = st
 	e.mu.Unlock()
+	fl.End(queryOutcome(root, st, ops, res, nil))
 	return res, nil
+}
+
+// queryOutcome folds a finished statement's telemetry into the shape
+// the journal records: the executor is the one place that holds the
+// plan, the collected stats and the per-operator timings together.
+func queryOutcome(root *plan.Node, st *obs.MineStats, ops []plan.OpStat, res *minisql.Result, err error) obs.QueryOutcome {
+	out := obs.QueryOutcome{Err: err}
+	if st != nil {
+		out.Backend = st.Backend
+		out.Rules = st.Counters[obs.MetricRulesEmitted]
+		out.Itemsets = st.Counters[obs.MetricItemsetsFrequent]
+		out.PredictedCost = st.Gauges[obs.MetricCountingPredictedCost]
+		if v, ok := st.Gauges[obs.MetricCountingObservedNS]; ok {
+			out.CountingMS = v / 1e6
+		}
+		out.Cache = cacheOutcome(st, root)
+	}
+	for _, s := range ops {
+		out.Ops = append(out.Ops, obs.OpWall{Op: obs.OpSpan(s.Op), WallMS: float64(s.Duration) / 1e6})
+	}
+	if res != nil {
+		out.Rows = len(res.Rows)
+	}
+	for _, n := range plan.Chain(root) {
+		for _, kv := range n.Detail {
+			if kv.Key == "predicted_backend" {
+				out.PredictedBackend = kv.Val
+			}
+		}
+	}
+	return out
+}
+
+// cacheOutcome derives how the statement's hold table was served from
+// the per-statement cache counters: "cold" (a build ran — also the
+// cache-disabled path), "dedup" (waited on a concurrent identical
+// build), "rethreshold" or "hit". Statements without a hold operator
+// (the traditional task) report "".
+func cacheOutcome(st *obs.MineStats, root *plan.Node) string {
+	hasHold := false
+	for _, n := range plan.Chain(root) {
+		if n.Op == plan.OpBuildHold || n.Op == plan.OpCachedHold {
+			hasHold = true
+		}
+	}
+	if !hasHold {
+		return ""
+	}
+	switch c := st.Counters; {
+	case c[obs.MetricCacheMisses] > 0:
+		return "cold"
+	case c[obs.MetricCacheDedups] > 0:
+		return "dedup"
+	case c[obs.MetricCacheRethresholds] > 0:
+		return "rethreshold"
+	case c[obs.MetricCacheHits] > 0:
+		return "hit"
+	default:
+		return "cold"
+	}
 }
 
 // Last returns the stats collected for the most recent successful
