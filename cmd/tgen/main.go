@@ -11,6 +11,12 @@
 // Each -plant is name|item1,item2,...|pattern|pInside|pOutside. Items
 // are names interned into the database dictionary; the pattern uses the
 // calendar-algebra syntax of the DURING clause.
+//
+// With -stream, tgen feeds the generated workload to a running tarmd
+// instead of writing a directory, paced to -rate transactions per
+// second in -batch sized POST /v1/append requests:
+//
+//	tgen -stream http://localhost:8080 -table baskets -days 7 -rate 500
 package main
 
 import (
@@ -36,7 +42,10 @@ func (p *plantFlags) Set(v string) error {
 
 func main() {
 	var plants plantFlags
-	out := flag.String("out", "", "output database directory (required)")
+	out := flag.String("out", "", "output database directory (required unless -stream)")
+	streamURL := flag.String("stream", "", "stream to a tarmd base URL via POST /v1/append instead of writing -out")
+	rate := flag.Float64("rate", 200, "stream mode: target transactions per second (0 = unpaced)")
+	batch := flag.Int("batch", 50, "stream mode: transactions per append request")
 	table := flag.String("table", "baskets", "transaction table name")
 	days := flag.Int("days", 364, "number of granules to generate")
 	granName := flag.String("granularity", "day", "granularity of the time axis")
@@ -50,8 +59,15 @@ func main() {
 	flag.Var(&plants, "plant", "planted rule: name|items|pattern|pIn|pOut (repeatable)")
 	flag.Parse()
 
+	if *streamURL != "" {
+		if err := stream(*streamURL, *table, *days, *granName, *txPer, *items, *patterns, *avgT, *avgI, *start, *seed, plants, *rate, *batch); err != nil {
+			fmt.Fprintln(os.Stderr, "tgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "tgen: -out is required")
+		fmt.Fprintln(os.Stderr, "tgen: -out is required (or use -stream)")
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -1,0 +1,148 @@
+// Stream mode: instead of writing a database directory, tgen generates
+// the same synthetic workload and feeds it to a running tarmd through
+// POST /v1/append, paced to a target transaction rate. This is the
+// write-traffic driver for the warm-cache maintenance experiments: a
+// miner keeps issuing statements while tgen -stream dirties granules
+// underneath it.
+
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/gen"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// streamTx is the wire shape of one transaction in a /v1/append batch.
+type streamTx struct {
+	At    time.Time `json:"at"`
+	Items []string  `json:"items"`
+}
+
+// stream generates the configured workload in memory and POSTs it to
+// baseURL in batches, sleeping between sends so the long-run rate
+// tracks txRate transactions per second (0 = as fast as possible).
+func stream(baseURL, table string, days int, granName string, txPer, items, patterns int, avgT, avgI float64, start string, seed int64, plants []string, txRate float64, batch int) error {
+	gran, err := timegran.ParseGranularity(granName)
+	if err != nil {
+		return err
+	}
+	startAt, err := time.ParseInLocation("2006-01-02", start, time.UTC)
+	if err != nil {
+		return fmt.Errorf("bad -start %q: %w", start, err)
+	}
+	if batch <= 0 {
+		return fmt.Errorf("bad -batch %d: must be positive", batch)
+	}
+
+	// Generate against a throwaway in-memory dictionary; the server
+	// re-interns by name on arrival.
+	db := tdb.NewMemDB()
+	for i := 0; i < items; i++ {
+		db.Dict().Intern(fmt.Sprintf("item%04d", i))
+	}
+	cfg := gen.TemporalConfig{
+		Quest:        gen.QuestConfig{NItems: items, NPatterns: patterns, AvgTxLen: avgT, AvgPatLen: avgI},
+		Start:        startAt,
+		Granularity:  gran,
+		NGranules:    days,
+		TxPerGranule: txPer,
+	}
+	for _, spec := range plants {
+		pr, err := parsePlant(spec, db)
+		if err != nil {
+			return err
+		}
+		cfg.Rules = append(cfg.Rules, pr)
+	}
+	src, err := gen.GenerateTemporal(cfg, seed)
+	if err != nil {
+		return err
+	}
+	var txs []streamTx
+	src.Each(func(tx tdb.Tx) bool {
+		names := make([]string, len(tx.Items))
+		for i, it := range tx.Items {
+			names[i] = db.Dict().MustName(it)
+		}
+		txs = append(txs, streamTx{At: tx.At, Items: names})
+		return true
+	})
+
+	endpoint := baseURL + "/v1/append"
+	client := &http.Client{Timeout: 30 * time.Second}
+	t0 := time.Now()
+	sent := 0
+	var lastEpoch int64
+	for off := 0; off < len(txs); off += batch {
+		end := off + batch
+		if end > len(txs) {
+			end = len(txs)
+		}
+		// Pace against the ideal schedule, not the previous sleep: the
+		// send time of transaction n is t0 + n/rate, so slow batches are
+		// caught up rather than compounded.
+		if txRate > 0 {
+			due := t0.Add(time.Duration(float64(off) / txRate * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		epoch, err := postBatch(client, endpoint, table, txs[off:end])
+		if err != nil {
+			return fmt.Errorf("batch at tx %d: %w", off, err)
+		}
+		lastEpoch = epoch
+		sent += end - off
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("streamed %d transactions to %s (table %s) in %.2fs (%.0f tx/s, target %.0f), server epoch %d\n",
+		sent, baseURL, table, elapsed.Seconds(), float64(sent)/elapsed.Seconds(), txRate, lastEpoch)
+	return nil
+}
+
+// postBatch sends one append batch, retrying on 429/503 backpressure
+// with the server's Retry-After hint. Returns the post-batch epoch.
+func postBatch(client *http.Client, endpoint, table string, txs []streamTx) (int64, error) {
+	body, err := json.Marshal(map[string]any{"table": table, "transactions": txs})
+	if err != nil {
+		return 0, err
+	}
+	const attempts = 5
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var out struct {
+				Epoch int64 `json:"epoch"`
+			}
+			if err := json.Unmarshal(raw, &out); err != nil {
+				return 0, fmt.Errorf("bad response %s: %w", raw, err)
+			}
+			return out.Epoch, nil
+		case (resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) && attempt < attempts:
+			wait := 200 * time.Millisecond
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			time.Sleep(wait)
+		default:
+			return 0, fmt.Errorf("server returned %d: %s", resp.StatusCode, raw)
+		}
+	}
+}

@@ -1,31 +1,32 @@
-// Incremental: the production loop for a live deployment — a year of
-// history on disk in monthly segments, one new day of transactions
-// arriving, and the mining state refreshed without recounting history.
+// Incremental: the write-traffic loop for a live deployment — a year
+// of history mined warm, late transactions arriving into days that
+// were already counted, and the mining state delta-maintained instead
+// of rebuilt.
 //
-//  1. SaveTxTableSegmented persists only the changed month.
-//  2. HoldTable.Extend tops the counting state up with the new day.
-//  3. The refreshed table answers all three tasks immediately.
+//  1. A MINE statement builds the hold table once (cache miss), and a
+//     repeat is served from the cache (hit).
+//  2. AppendBatch lands new transactions in a handful of existing
+//     granules; the table's change log records which days went dirty.
+//  3. The next warm MINE re-counts only the dirty granule blocks and
+//     splices the fresh columns into the cached entry (outcome
+//     "delta") — bit-identical rules at a fraction of the rebuild.
+//  4. The same machinery is available below the session: DirtySince
+//     names the dirty granules and HoldTable.Maintain splices them.
 package main
 
 import (
 	"fmt"
 	"log"
-	"os"
-	"path/filepath"
 	"time"
 
 	tarm "github.com/tarm-project/tarm"
 )
 
-func main() {
-	dir, err := os.MkdirTemp("", "tarm-incremental")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer os.RemoveAll(dir)
-	segDir := filepath.Join(dir, "baskets.segs")
+const statement = `MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 FREQUENCY 0.8 MIN LENGTH 7`
 
-	dict := tarm.NewDict()
+func main() {
+	db := tarm.NewMemDB()
+	dict := db.Dict()
 	weekendPair := dict.InternAll("chips", "beer")
 	weekend, _ := tarm.ParsePattern("weekday in (sat, sun)")
 
@@ -45,52 +46,81 @@ func main() {
 		log.Fatal(err)
 	}
 
-	segCfg := tarm.SegmentConfig{Granularity: tarm.Month, Width: 1}
-	stats, err := tarm.SaveTxTableSegmented(history, segDir, segCfg)
+	baskets, err := db.CreateTxTable("baskets")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("initial save: %d segments written, %d skipped\n", stats.Written, stats.Skipped)
+	history.Each(func(tx tarm.Tx) bool {
+		baskets.Append(tx.At, tx.Items)
+		return true
+	})
+	session := tarm.NewSession(db)
 
+	// Cold: the first statement pays the counting pass.
+	exec := func(label string) int {
+		t0 := time.Now()
+		res, err := session.Exec(statement)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := session.TML.Cache.Stats()
+		fmt.Printf("%-28s %4d rules  %8v   cache m/h/de = %d/%d/%d\n",
+			label, len(res.Rows), time.Since(t0).Round(time.Microsecond),
+			st.Misses, st.Hits, st.Deltas)
+		return len(res.Rows)
+	}
+	exec("cold MINE (miss):")
+	exec("repeat (hit):")
+
+	// Late data arrives into three days that were already counted: the
+	// batch goes in under one lock, and the change log records exactly
+	// which granules went dirty.
+	var late []tarm.Tx
+	for _, day := range []int{90, 91, 200} {
+		at := time.Date(1998, 1, 1, 9, 0, 0, 0, time.UTC).AddDate(0, 0, day)
+		for i := 0; i < 40; i++ {
+			late = append(late, tarm.Tx{
+				At:    at.Add(time.Duration(i) * time.Minute),
+				Items: dict.InternAll("chips", "beer", fmt.Sprintf("sku%03d", i%50)),
+			})
+		}
+	}
+	epochBefore := baskets.Epoch()
+	_, epoch := baskets.AppendBatch(late)
+	dirty, _, _ := baskets.DirtySince(tarm.Day, epochBefore)
+	fmt.Printf("\nappended %d late tx; epoch %d → %d; dirty granules: %d of 364\n\n",
+		len(late), epochBefore, epoch, len(dirty))
+
+	// Warm again: the cached entry is delta-maintained — only the three
+	// dirty days are recounted and spliced in.
+	exec("warm after append (delta):")
+
+	// The same splice below the session: DirtySince + Maintain give any
+	// embedding the delta path directly.
 	cfg := tarm.Config{
-		Granularity:   tarm.Day,
-		MinSupport:    0.15,
-		MinConfidence: 0.6,
-		MinFreq:       0.8,
-		MaxK:          3,
+		Granularity: tarm.Day, MinSupport: 0.15, MinConfidence: 0.6, MinFreq: 0.8,
 	}
 	t0 := time.Now()
-	hold, err := tarm.BuildHoldTable(history, cfg)
+	hold, err := tarm.BuildHoldTable(baskets, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("initial counting pass over %d transactions: %v\n", history.Len(), time.Since(t0).Round(time.Millisecond))
-
-	// A new day arrives (a Saturday: 1998-12-31 is day 364... use the
-	// day after the span).
-	span, _ := history.Span(tarm.Day)
-	newDay := time.Unix((span.Hi+1)*86400, 0).UTC()
-	for i := 0; i < 60; i++ {
-		items := dict.InternAll("chips", "beer", fmt.Sprintf("sku%03d", i%50))
-		history.Append(newDay.Add(time.Duration(i)*time.Minute), items)
+	build := time.Since(t0)
+	epochBefore = baskets.Epoch()
+	baskets.AppendBatch(late[:40]) // another 40 tx into day 90
+	dirty, _, ok := baskets.DirtySince(tarm.Day, epochBefore)
+	if !ok {
+		log.Fatal("change log trimmed; rebuild instead")
 	}
-
-	t1 := time.Now()
-	stats, err = tarm.SaveTxTableSegmented(history, segDir, segCfg)
+	t0 = time.Now()
+	hold, err = hold.Maintain(baskets, dirty)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("incremental save: %d written, %d skipped (%v)\n",
-		stats.Written, stats.Skipped, time.Since(t1).Round(time.Millisecond))
+	fmt.Printf("\ncore API: BuildHoldTable %v, Maintain(%d dirty granule) %v\n",
+		build.Round(time.Microsecond), len(dirty), time.Since(t0).Round(time.Microsecond))
 
-	t2 := time.Now()
-	hold, err = hold.Extend(history)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("incremental counting refresh: %v\n", time.Since(t2).Round(time.Millisecond))
-
-	// The refreshed state serves queries immediately.
+	// The maintained state serves queries immediately.
 	rules, err := tarm.MineDuringFromTable(hold, weekend)
 	if err != nil {
 		log.Fatal(err)
@@ -101,11 +131,4 @@ func main() {
 				dict.Names(r.Rule.Antecedent), dict.Names(r.Rule.Consequent), r.Freq)
 		}
 	}
-
-	// Restart path: load from segments.
-	reloaded, _, err := tarm.LoadTxTableSegmented(segDir)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("reloaded %d transactions from %s\n", reloaded.Len(), filepath.Base(segDir))
 }

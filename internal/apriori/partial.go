@@ -1,0 +1,87 @@
+package apriori
+
+import "github.com/tarm-project/tarm/internal/itemset"
+
+// LevelCounter counts one fixed candidate level over a sequence of
+// sub-sources. It is the partial-rebuild entry point: incremental
+// hold-table maintenance recounts a handful of dirty granules (and,
+// for newly frequent itemsets, the clean remainder) instead of the
+// whole span, and wants the hash tree built once per level rather than
+// once per granule. Count may be called any number of times; the tree
+// is reset between sources.
+type LevelCounter struct {
+	tree *HashTree
+	n    int
+}
+
+// NewLevelCounter builds the hash tree for one candidate level of
+// k-itemsets. The candidate order is preserved: Count returns counts
+// indexed like cands.
+func NewLevelCounter(cands []itemset.Set, k int) (*LevelCounter, error) {
+	tree, err := NewHashTree(cands, k, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &LevelCounter{tree: tree, n: len(cands)}, nil
+}
+
+// Count scans src once and returns each candidate's support count in
+// it, then resets the tree for the next source. The returned slice is
+// owned by the caller.
+func (c *LevelCounter) Count(src Source) []int {
+	src.ForEach(c.tree.Add)
+	out := make([]int, c.n)
+	copy(out, c.tree.Counts())
+	c.tree.Reset()
+	return out
+}
+
+// MapCounter counts one candidate level by enumerating each
+// transaction's k-subsets against a candidate hash map. Construction is
+// one map insert per candidate — no tree nodes — which makes it the
+// right counter when the source is a few dirty granules: the hash
+// tree's build cost would dwarf the scan.
+type MapCounter struct {
+	idx map[string]int
+	k   int
+	n   int
+}
+
+// NewMapCounter indexes one candidate level of k-itemsets. Candidate
+// order is preserved: Count returns counts indexed like cands.
+func NewMapCounter(cands []itemset.Set, k int) *MapCounter {
+	idx := make(map[string]int, len(cands))
+	for i, c := range cands {
+		idx[c.Key()] = i
+	}
+	return &MapCounter{idx: idx, k: k, n: len(cands)}
+}
+
+// Count scans src once and returns each candidate's support count. The
+// cost is C(|tx|, k) per transaction, so callers should prefer the
+// hash tree for large sources or deep levels.
+func (c *MapCounter) Count(src Source) []int {
+	counts := make([]int, c.n)
+	chosen := make(itemset.Set, c.k)
+	buf := make([]byte, 0, 4*c.k)
+	var rec func(tx itemset.Set, start, depth int)
+	rec = func(tx itemset.Set, start, depth int) {
+		if depth == c.k {
+			buf = chosen.AppendKey(buf[:0])
+			if i, ok := c.idx[string(buf)]; ok {
+				counts[i]++
+			}
+			return
+		}
+		for i := start; i <= len(tx)-(c.k-depth); i++ {
+			chosen[depth] = tx[i]
+			rec(tx, i+1, depth+1)
+		}
+	}
+	src.ForEach(func(tx itemset.Set) {
+		if len(tx) >= c.k {
+			rec(tx, 0, 0)
+		}
+	})
+	return counts
+}

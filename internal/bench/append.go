@@ -1,0 +1,294 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/server"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/tml"
+)
+
+// e15Statement is the warm statement under write traffic: the first
+// statement of the E12 mix.
+const e15Statement = `MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 FREQUENCY 0.9 MIN LENGTH 7`
+
+// e15Batch draws one append batch: per granule, txPer small baskets
+// mixing a planted pair with Quest background items, so the appends
+// move real support counts in the dirtied days.
+func e15Batch(r *rand.Rand, days []int, txPer int) []tdb.Tx {
+	var out []tdb.Tx
+	for _, d := range days {
+		at := year0.AddDate(0, 0, d).Add(6 * time.Hour)
+		for i := 0; i < txPer; i++ {
+			items := []itemset.Item{plantedBase, plantedBase + 1,
+				itemset.Item(r.Intn(1000)), itemset.Item(r.Intn(1000))}
+			out = append(out, tdb.Tx{
+				At:    at.Add(time.Duration(i) * time.Second),
+				Items: itemset.New(items...),
+			})
+		}
+	}
+	return out
+}
+
+// E15AppendDelta measures the warm-statement cost of write traffic
+// under the two maintenance policies. Both sessions hold the same data
+// and a warm cache entry for the same statement; each round appends an
+// identical batch touching a growing number of granules, then re-runs
+// the statement. The delta arm re-counts only the dirtied granule
+// blocks and splices them into the cached entry; the invalidation arm
+// (the pre-delta policy, DisableDelta) drops the entry and rebuilds the
+// hold table from scratch.
+func E15AppendDelta(sc StandardConfig) (Table, error) {
+	deltaSession, err := e12Session(sc)
+	if err != nil {
+		return Table{}, err
+	}
+	invalSession, err := e12Session(sc)
+	if err != nil {
+		return Table{}, err
+	}
+	for _, s := range []*tml.Session{deltaSession, invalSession} {
+		s.TML.Backend = Backend
+		s.TML.Workers = Workers
+		if _, err := s.Exec(e15Statement); err != nil {
+			return Table{}, err
+		}
+	}
+	invalSession.TML.Cache.DisableDelta()
+	deltaTbl, _ := deltaSession.DB.TxTable("baskets")
+	invalTbl, _ := invalSession.DB.TxTable("baskets")
+
+	scn := sc.normalise()
+	t := Table{
+		ID:     "E15",
+		Title:  "warm MINE under append traffic: delta maintenance vs full invalidation, " + describe(sc),
+		Header: []string{"dirty granules", "appended tx", "delta ms", "invalidate ms", "speedup", "cache"},
+	}
+	r := rand.New(rand.NewSource(scn.Seed))
+	const txPerGranule = 20
+
+	// One unmeasured warm-up round: the first delta maintain and the
+	// first rebuild both pay one-off allocation costs that would skew
+	// the first measured row.
+	warmup := e15Batch(r, []int{r.Intn(scn.Days)}, txPerGranule)
+	deltaTbl.AppendBatch(warmup)
+	invalTbl.AppendBatch(warmup)
+	for _, s := range []*tml.Session{deltaSession, invalSession} {
+		if _, err := s.Exec(e15Statement); err != nil {
+			return t, err
+		}
+	}
+
+	// Each row averages over a few append→exec cycles: a single warm
+	// statement runs in single-digit milliseconds, so one exec per row
+	// would be scheduler noise.
+	const reps = 3
+	for _, dirty := range []int{1, 2, 4, 8, 16, 32} {
+		var deltaMS, invalMS float64
+		var appended int
+		outcome := ""
+		for rep := 0; rep < reps; rep++ {
+			days := make([]int, dirty)
+			for i := range days {
+				days[i] = r.Intn(scn.Days)
+			}
+			batch := e15Batch(r, days, txPerGranule)
+			appended += len(batch)
+			deltaTbl.AppendBatch(batch)
+			invalTbl.AppendBatch(batch)
+
+			before := deltaSession.TML.Cache.Stats()
+			var deltaRows, invalRows int
+			deltaD, err := timed(func() error {
+				res, err := deltaSession.Exec(e15Statement)
+				if err == nil {
+					deltaRows = len(res.Rows)
+				}
+				return err
+			})
+			if err != nil {
+				return t, fmt.Errorf("delta arm: %w", err)
+			}
+			invalD, err := timed(func() error {
+				res, err := invalSession.Exec(e15Statement)
+				if err == nil {
+					invalRows = len(res.Rows)
+				}
+				return err
+			})
+			if err != nil {
+				return t, fmt.Errorf("invalidation arm: %w", err)
+			}
+			if deltaRows != invalRows {
+				return t, fmt.Errorf("%d dirty granules: delta returned %d rows, invalidation %d", dirty, deltaRows, invalRows)
+			}
+			deltaMS += deltaD.Seconds() * 1000
+			invalMS += invalD.Seconds() * 1000
+			outcome = cacheOutcome(before, deltaSession.TML.Cache.Stats())
+		}
+		deltaMS /= reps
+		invalMS /= reps
+		speedup := "-"
+		if deltaMS > 0 {
+			speedup = fmt.Sprintf("%.1fx", invalMS/deltaMS)
+		}
+		t.AddRow(fmt.Sprint(dirty), fmt.Sprint(appended/reps), ms(deltaMS), ms(invalMS), speedup, outcome)
+	}
+
+	// Hit-rate phase: replay the statement 20 times per arm with an
+	// append landing before every k-th statement, and report what the
+	// warm cache did across the replay.
+	for _, every := range []int{1, 2, 4} {
+		line, err := e15Replay(sc, every)
+		if err != nil {
+			return t, err
+		}
+		t.Notes = append(t.Notes, line)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("each round appends %d tx per dirtied granule; both arms receive identical batches and must return identical rows", txPerGranule))
+	return t, nil
+}
+
+// e15Replay runs the fixed-rate phase of E15: 20 warm statements with
+// an append before every k-th one, on a delta arm and an invalidation
+// arm, returning one summary line.
+func e15Replay(sc StandardConfig, every int) (string, error) {
+	const statements = 20
+	type arm struct {
+		label   string
+		disable bool
+		total   float64
+		outcome map[string]int
+	}
+	arms := []*arm{
+		{label: "delta", outcome: map[string]int{}},
+		{label: "invalidate", disable: true, outcome: map[string]int{}},
+	}
+	scn := sc.normalise()
+	for _, a := range arms {
+		session, err := e12Session(sc)
+		if err != nil {
+			return "", err
+		}
+		session.TML.Backend = Backend
+		session.TML.Workers = Workers
+		if _, err := session.Exec(e15Statement); err != nil {
+			return "", err
+		}
+		if a.disable {
+			session.TML.Cache.DisableDelta()
+		}
+		tbl, _ := session.DB.TxTable("baskets")
+		r := rand.New(rand.NewSource(scn.Seed + int64(every)))
+		for i := 0; i < statements; i++ {
+			if i%every == 0 {
+				tbl.AppendBatch(e15Batch(r, []int{r.Intn(scn.Days)}, 20))
+			}
+			before := session.TML.Cache.Stats()
+			d, err := timed(func() error {
+				_, err := session.Exec(e15Statement)
+				return err
+			})
+			if err != nil {
+				return "", fmt.Errorf("%s arm: %w", a.label, err)
+			}
+			a.total += d.Seconds() * 1000
+			a.outcome[cacheOutcome(before, session.TML.Cache.Stats())]++
+		}
+	}
+	render := func(a *arm) string {
+		var parts []string
+		for _, k := range []string{"delta", "miss", "rethreshold", "hit", "-"} {
+			if n := a.outcome[k]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%d %s", n, k))
+			}
+		}
+		return fmt.Sprintf("%s %s ms (%s)", a.label, ms(a.total), strings.Join(parts, ", "))
+	}
+	return fmt.Sprintf("append before every %d. of %d warm statements: %s vs %s",
+		every, statements, render(arms[0]), render(arms[1])), nil
+}
+
+// E13ConcurrentSessions measures tarmd statement throughput as client
+// sessions are added: N clients each replay the 20-statement E12 mix
+// against one server (shared executor, shared hold-table cache), and
+// the table reports wall time, aggregate statement throughput and
+// latency quantiles per session count.
+func E13ConcurrentSessions(sc StandardConfig) (Table, error) {
+	t := Table{
+		ID:     "E13",
+		Title:  "tarmd throughput vs concurrent sessions (E12 statement mix), " + describe(sc),
+		Header: []string{"clients", "statements", "wall s", "stmt/s", "p50 ms", "p95 ms", "cache m/r/h/de"},
+	}
+	stmts := e12Statements()
+	for _, clients := range []int{1, 2, 4, 8, 16} {
+		session, err := e12Session(sc)
+		if err != nil {
+			return t, err
+		}
+		srv := server.New(session.DB, server.Config{
+			Pool:    clients,
+			Queue:   clients * len(stmts),
+			Backend: Backend,
+			Workers: Workers,
+		})
+		ts := httptest.NewServer(srv)
+
+		latencies := make([][]float64, clients)
+		errs := make([]error, clients)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				client := ts.Client()
+				for _, stmt := range stmts {
+					s0 := time.Now()
+					resp, err := client.Post(ts.URL+"/v1/statements", "text/plain", strings.NewReader(stmt))
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						errs[c] = fmt.Errorf("status %d for %s", resp.StatusCode, stmt)
+						return
+					}
+					latencies[c] = append(latencies[c], time.Since(s0).Seconds()*1000)
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		ts.Close()
+		for _, err := range errs {
+			if err != nil {
+				return t, err
+			}
+		}
+		var all []float64
+		for _, l := range latencies {
+			all = append(all, l...)
+		}
+		sort.Float64s(all)
+		q := func(p float64) float64 { return all[min(len(all)-1, int(p*float64(len(all))))] }
+		cs := srv.Executor().Cache.Stats()
+		t.AddRow(fmt.Sprint(clients), fmt.Sprint(len(all)),
+			fmt.Sprintf("%.2f", wall.Seconds()),
+			fmt.Sprintf("%.1f", float64(len(all))/wall.Seconds()),
+			ms(q(0.50)), ms(q(0.95)),
+			fmt.Sprintf("%d/%d/%d/%d", cs.Misses, cs.Rethresholds, cs.Hits, cs.Deltas))
+	}
+	t.Notes = append(t.Notes, "one shared tarmd per row (pool = clients); each client replays the full mix, so work scales with the client count while builds are shared through the cache")
+	return t, nil
+}

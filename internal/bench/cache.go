@@ -52,6 +52,8 @@ func e12Session(sc StandardConfig) (*tml.Session, error) {
 // statement, from the counter deltas around it.
 func cacheOutcome(before, after core.CacheStats) string {
 	switch {
+	case after.Deltas > before.Deltas:
+		return "delta"
 	case after.Misses > before.Misses:
 		return "miss"
 	case after.Rethresholds > before.Rethresholds:

@@ -409,12 +409,12 @@ var Experiments = map[string]func() (Table, error){
 	"e10": func() (Table, error) { return E10FrequencySweep(0, 1998) },
 	"e11": func() (Table, error) { return E11CountingBackends(1998) },
 	"e12": func() (Table, error) { return E12InteractiveReplay(StandardConfig{TxPerDay: 50}) },
+	"e13": func() (Table, error) { return E13ConcurrentSessions(StandardConfig{TxPerDay: 50}) },
 	"e14": func() (Table, error) { return E14DensitySweep(1998) },
+	"e15": func() (Table, error) { return E15AppendDelta(StandardConfig{TxPerDay: 50}) },
 }
 
-// ExperimentIDs returns the ids in run order. (e13, the
-// concurrent-session throughput experiment, is still a stub in
-// EXPERIMENTS.md and has no runner yet.)
+// ExperimentIDs returns the ids in run order.
 func ExperimentIDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e14"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
 }

@@ -29,10 +29,17 @@ import (
 //
 // Entries are keyed by (table name, table epoch, granularity,
 // MinGranuleTx); the epoch comes from tdb.(*TxTable).Epoch and is
-// bumped by every Append, so a write to the table invalidates its
-// cached tables on the next lookup. Concurrent identical statements
-// are deduplicated: one build runs, the rest wait for it
-// (singleflight).
+// bumped by every Append. A write to the table no longer simply
+// invalidates its cached tables: when the table's change log still
+// covers the window since the entry was built and the dirty region is
+// a minority of the data, the entry is delta-maintained in place —
+// only the dirty granules are recounted and their count vectors
+// spliced into the carried entry (see HoldTable.Maintain) — and the
+// statement is served from the refreshed entry. Only when the log has
+// been trimmed past the entry, or most of the table changed, does the
+// entry fall back to invalidation and a cold rebuild. Concurrent
+// identical statements are deduplicated: one build (or one delta
+// maintenance) runs, the rest wait for it (singleflight).
 //
 // The zero of *HoldCache is usable: a nil cache builds directly and
 // caches nothing, so callers thread an optional cache without
@@ -40,11 +47,12 @@ import (
 type HoldCache struct {
 	maxBytes int64
 
-	mu      sync.Mutex
-	lru     *list.List // of *cacheEntry, front = most recently used
-	byKey   map[cacheKey]*cacheEntry
-	flights map[flightKey]*flight
-	stats   CacheStats
+	mu       sync.Mutex
+	lru      *list.List // of *cacheEntry, front = most recently used
+	byKey    map[cacheKey]*cacheEntry
+	flights  map[flightKey]*flight
+	stats    CacheStats
+	deltaOff bool
 }
 
 // DefaultCacheBytes is the memory budget front ends use when the user
@@ -99,6 +107,7 @@ type CacheStats struct {
 	Rethresholds  int64 `json:"rethresholds"`   // monotone re-threshold hits
 	Misses        int64 `json:"misses"`         // builds triggered
 	Dedups        int64 `json:"dedups"`         // waits on an in-flight build
+	Deltas        int64 `json:"deltas"`         // stale entries refreshed by delta maintenance
 	Evictions     int64 `json:"evictions"`      // entries evicted for space
 	Invalidations int64 `json:"invalidations"`  // entries dropped after table writes
 	Entries       int   `json:"entries"`        // resident entries
@@ -220,7 +229,19 @@ func (c *HoldCache) GetContext(ctx context.Context, tbl *tdb.TxTable, cfg Config
 		c.mu.Lock()
 		if ent := c.byKey[key]; ent != nil {
 			if ent.epoch != epoch {
-				// The table was written since this entry was built.
+				// The table was written since this entry was built. Prefer
+				// refreshing the entry by delta maintenance over dropping
+				// it; only when that is impossible (log trimmed, majority
+				// of the data dirty, entry does not cover the statement)
+				// invalidate and fall through to a cold build.
+				if h, err, served := c.deltaLocked(ctx, tbl, cfg, key, ent, epoch, tr); served {
+					if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && ctx.Err() == nil {
+						// A delta flight we joined died with its winner's
+						// context error, not ours: retry.
+						continue
+					}
+					return h, err
+				}
 				c.removeLocked(ent)
 				c.stats.Invalidations++
 				tr.Counter(obs.MetricCacheInvalidations, 1)
@@ -288,12 +309,123 @@ func (c *HoldCache) GetContext(ctx context.Context, tbl *tdb.TxTable, cfg Config
 	}
 }
 
+// deltaLocked tries to serve a statement from a stale entry by
+// delta-maintaining it in place instead of invalidating it. Called
+// with c.mu held. When served is true the lock has been released and
+// (h, err) is the statement's outcome — except that a joined flight
+// failing with its *winner's* context error is returned for the caller
+// to retry, mirroring the cold dedup path. When served is false the
+// lock is still held and the caller falls through to invalidation.
+func (c *HoldCache) deltaLocked(ctx context.Context, tbl *tdb.TxTable, cfg Config, key cacheKey, ent *cacheEntry, epoch int64, tr obs.Tracer) (h *HoldTable, err error, served bool) {
+	if c.deltaOff || ent.buildSupport > cfg.MinSupport || !maxKCovers(ent.maxK, cfg.MaxK) {
+		return nil, nil, false
+	}
+	dirty, cur, ok := tbl.DirtySince(key.granularity, ent.epoch)
+	if !ok || cur != epoch || !deltaWorthwhile(tbl, key.granularity, dirty) {
+		return nil, nil, false
+	}
+	// The refreshed table is at the entry's build thresholds; the
+	// statement's own (equal or higher) thresholds are derived from it
+	// exactly, as on the resident hit path.
+	serve := func(nh *HoldTable) (*HoldTable, error) {
+		if cfg.MinSupport == ent.buildSupport && cfg.MaxK == ent.maxK {
+			return nh.withCfg(cfg), nil
+		}
+		return nh.Rethreshold(cfg)
+	}
+	fk := flightKey{cacheKey: key, epoch: epoch, support: ent.buildSupport, maxK: ent.maxK}
+	if f := c.flights[fk]; f != nil {
+		c.stats.Dedups++
+		c.mu.Unlock()
+		tr.Counter(obs.MetricCacheDedups, 1)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		case <-f.done:
+		}
+		if f.err != nil {
+			return nil, f.err, true
+		}
+		h, err = serve(f.h)
+		return h, err, true
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[fk] = f
+	c.stats.Deltas++
+	c.mu.Unlock()
+	tr.Counter(obs.MetricCacheDeltas, 1)
+
+	// Maintain under the caller's config (thresholds pinned to the
+	// build's): the entry's stored config belongs to a finished
+	// statement and must not receive this one's tracer events.
+	buildCfg := cfg
+	buildCfg.MinSupport = ent.buildSupport
+	buildCfg.MaxK = ent.maxK
+	nh, err := ent.h.withCfg(buildCfg).MaintainContext(ctx, tbl, dirty)
+	if err != nil && ctx.Err() == nil {
+		// The dirty list raced a concurrent append, or the entry turned
+		// out unmaintainable: fall back to a cold build at the same
+		// coverage so waiters still receive a covering table.
+		nh, err = BuildHoldTableContext(ctx, tbl, buildCfg)
+	}
+	f.h, f.err = nh, err
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.flights, fk)
+	if err == nil && tbl.Epoch() == epoch {
+		// insertLocked replaces the stale entry (same key, older epoch)
+		// and re-evicts under the budget.
+		c.insertLocked(key, epoch, buildCfg, nh, tr)
+	}
+	c.gaugeLocked(tr)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err, true
+	}
+	h, err = serve(nh)
+	return h, err, true
+}
+
+// deltaWorthwhile caps delta maintenance at half the table's rows:
+// recounting a majority of the data costs about as much as a cold
+// build, without the cold build's backend selection and parallelism.
+func deltaWorthwhile(tbl *tdb.TxTable, g timegran.Granularity, dirty []timegran.Granule) bool {
+	total := tbl.Len()
+	if total == 0 {
+		return false
+	}
+	rows := 0
+	for _, gr := range dirty {
+		rows += tbl.CountRange(g, timegran.Interval{Lo: gr, Hi: gr})
+		if rows*2 > total {
+			return false
+		}
+	}
+	return true
+}
+
+// DisableDelta turns off delta maintenance for this cache: stale
+// entries are invalidated on lookup and rebuilt from scratch, the
+// pre-delta behaviour. Used by experiments comparing the two policies
+// and available as an operational escape hatch.
+func (c *HoldCache) DisableDelta() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deltaOff = true
+}
+
 // Probe reports how GetContext would serve (tbl, cfg) right now, for
 // plan-time EXPLAIN annotation: "hit" (a resident entry matches the
 // thresholds exactly), "rethreshold" (a resident entry covers them at
-// lower support / deeper MaxK) or "build" (no covering entry; a Get
-// would build or join an in-flight build). Read-only: no counter, LRU
-// or invalidation side effects. A nil cache always reports "build".
+// lower support / deeper MaxK), "delta" (a covering entry is stale but
+// would be refreshed by delta maintenance rather than rebuilt) or
+// "build" (no covering entry; a Get would build or join an in-flight
+// build). Read-only: no counter, LRU or invalidation side effects. A
+// nil cache always reports "build".
 func (c *HoldCache) Probe(tbl *tdb.TxTable, cfg Config) string {
 	if c == nil {
 		return "build"
@@ -307,8 +439,18 @@ func (c *HoldCache) Probe(tbl *tdb.TxTable, cfg Config) string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ent := c.byKey[key]
-	if ent == nil || ent.epoch != epoch || ent.buildSupport > cfg.MinSupport || !maxKCovers(ent.maxK, cfg.MaxK) {
+	if ent == nil || ent.buildSupport > cfg.MinSupport || !maxKCovers(ent.maxK, cfg.MaxK) {
 		return "build"
+	}
+	if ent.epoch != epoch {
+		if c.deltaOff {
+			return "build"
+		}
+		dirty, cur, ok := tbl.DirtySince(key.granularity, ent.epoch)
+		if !ok || cur != epoch || !deltaWorthwhile(tbl, key.granularity, dirty) {
+			return "build"
+		}
+		return "delta"
 	}
 	if cfg.MinSupport == ent.buildSupport && cfg.MaxK == ent.maxK {
 		return "hit"

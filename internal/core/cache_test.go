@@ -211,9 +211,10 @@ func TestHoldCacheMaxKCoverage(t *testing.T) {
 	}
 }
 
-// TestHoldCacheEpochInvalidation: an Append between statements must
-// force a rebuild, and the rebuilt table must see the new data.
-func TestHoldCacheEpochInvalidation(t *testing.T) {
+// TestHoldCacheEpochDelta: an Append between statements must not serve
+// the stale entry — it is delta-maintained in place, and the refreshed
+// table sees the new data.
+func TestHoldCacheEpochDelta(t *testing.T) {
 	tbl := backendTestTable(t, 42)
 	c := NewHoldCache(DefaultCacheBytes)
 	cfg := cacheTestCfg(0.05, 3)
@@ -223,12 +224,60 @@ func TestHoldCacheEpochInvalidation(t *testing.T) {
 	}
 	at := time.Date(2001, 5, 30, 12, 0, 0, 0, time.UTC)
 	tbl.Append(at, itemset.New(500, 501))
+	if got := c.Probe(tbl, cfg); got != "delta" {
+		t.Fatalf("Probe after append = %q, want delta", got)
+	}
 	h2, err := c.Get(tbl, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	st := c.Stats()
-	if st.Invalidations != 1 || st.Misses != 2 || st.Hits != 0 {
+	if st.Deltas != 1 || st.Misses != 1 || st.Invalidations != 0 || st.Hits != 0 {
+		t.Fatalf("Append did not delta-maintain: %+v", st)
+	}
+	if h2.NGranules() <= h1.NGranules() {
+		t.Fatalf("maintained table does not cover the appended granule: %d vs %d granules", h2.NGranules(), h1.NGranules())
+	}
+	// The refreshed entry serves hits again, and is bit-identical to a
+	// cold rebuild.
+	if _, err := c.Get(tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("no hit after delta maintenance: %+v", st)
+	}
+	rebuilt, err := BuildHoldTable(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holdTablesEqual(h2, rebuilt) {
+		t.Fatal("delta-maintained table differs from cold rebuild")
+	}
+}
+
+// TestHoldCacheEpochInvalidation: with delta maintenance disabled, an
+// Append between statements must force a rebuild (the pre-delta
+// policy), and the rebuilt table must see the new data.
+func TestHoldCacheEpochInvalidation(t *testing.T) {
+	tbl := backendTestTable(t, 42)
+	c := NewHoldCache(DefaultCacheBytes)
+	c.DisableDelta()
+	cfg := cacheTestCfg(0.05, 3)
+	h1, err := c.Get(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2001, 5, 30, 12, 0, 0, 0, time.UTC)
+	tbl.Append(at, itemset.New(500, 501))
+	if got := c.Probe(tbl, cfg); got != "build" {
+		t.Fatalf("Probe after append with delta off = %q, want build", got)
+	}
+	h2, err := c.Get(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 || st.Misses != 2 || st.Hits != 0 || st.Deltas != 0 {
 		t.Fatalf("Append did not invalidate: %+v", st)
 	}
 	if h2.NGranules() <= h1.NGranules() {

@@ -4,31 +4,23 @@ import (
 	"context"
 	"fmt"
 
-	"github.com/tarm-project/tarm/internal/apriori"
-	"github.com/tarm-project/tarm/internal/itemset"
 	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/timegran"
 )
 
 // Extend incrementally updates the hold table after new transactions
-// were appended to tbl (the production pattern: one new day arrives,
-// yesterday's table is refreshed without recounting the whole
-// history). It returns a new HoldTable; the receiver is unchanged.
+// were appended to tbl at or after the old span's end (the production
+// pattern: one new day arrives, yesterday's table is refreshed without
+// recounting the whole history). It returns a new HoldTable; the
+// receiver is unchanged.
 //
-// The update has two parts:
-//
-//  1. Itemsets already tracked are counted in the new granules only —
-//     one scan of the new data per level.
-//  2. Itemsets that become granule-frequent *in the new granules* but
-//     were not tracked before need their historical counts too; they
-//     are counted over the old span in a second, candidate-restricted
-//     pass. (An itemset frequent only in an old granule cannot newly
-//     appear: old granules did not change.)
-//
-// Extend requires the old span's data to be unchanged: transactions
-// may only have been appended at or after the old span's end. It
-// returns an error if the table's span no longer starts where it used
-// to, or if nothing new arrived.
+// Extend is the append-at-the-end special case of Maintain: the dirty
+// region is the old final granule (appends may land inside it) plus
+// every granule after it. It returns an error if the table's span no
+// longer starts where it used to, or if nothing new arrived; appends
+// that landed strictly inside the old span are caught by Maintain's
+// dirty-list soundness check and also surface as an error telling the
+// caller to rebuild.
 func (h *HoldTable) Extend(tbl *tdb.TxTable) (*HoldTable, error) {
 	return h.ExtendContext(context.Background(), tbl)
 }
@@ -49,219 +41,9 @@ func (h *HoldTable) ExtendContext(ctx context.Context, tbl *tdb.TxTable) (*HoldT
 	if span.Hi <= h.Span.Hi {
 		return nil, fmt.Errorf("core: Extend: no granules after %d (table ends at %d)", h.Span.Hi, span.Hi)
 	}
-	oldN := h.NGranules()
-	newSpan := timegran.Interval{Lo: h.Span.Hi + 1, Hi: span.Hi}
-
-	// Rebuild the per-granule scaffolding over the widened span.
-	nh := &HoldTable{
-		Cfg:       h.Cfg,
-		Span:      span,
-		TxCounts:  tbl.GranuleCounts(h.Cfg.Granularity, span),
-		MinCounts: make([]int, span.Len()),
-		Active:    make([]bool, span.Len()),
-		ByK:       [][]itemset.Set{nil},
-		counts:    make(map[string][]int32, len(h.counts)),
+	dirty := make([]timegran.Granule, 0, int(span.Hi-h.Span.Hi)+1)
+	for g := h.Span.Hi; g <= span.Hi; g++ {
+		dirty = append(dirty, g)
 	}
-	for i, txc := range nh.TxCounts {
-		if txc >= nh.Cfg.MinGranuleTx {
-			nh.Active[i] = true
-			nh.NActive++
-			nh.MinCounts[i] = ceilCount(nh.Cfg.MinSupport, txc)
-		}
-	}
-	if nh.NActive == 0 {
-		return nil, fmt.Errorf("core: no granule has at least %d transactions", nh.Cfg.MinGranuleTx)
-	}
-
-	// Level 1 over the new granules only, through the time index (the
-	// old region is never touched).
-	c1 := make(map[itemset.Item][]int32)
-	for g := newSpan.Lo; g <= newSpan.Hi; g++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		gi := int(g - span.Lo)
-		if !nh.Active[gi] {
-			continue
-		}
-		tbl.GranuleSource(nh.Cfg.Granularity, g).ForEach(func(tx itemset.Set) {
-			for _, x := range tx {
-				v := c1[x]
-				if v == nil {
-					v = make([]int32, int(span.Len()))
-					c1[x] = v
-				}
-				v[gi]++
-			}
-		})
-	}
-
-	// Merge level 1: carry forward old vectors (widened), adopt new
-	// counts, and admit items that became frequent in a new granule.
-	var l1 []itemset.Set
-	seen := map[string]bool{}
-	for _, s := range h.ByK[1] {
-		old := h.counts[s.Key()]
-		v := make([]int32, int(span.Len()))
-		copy(v[:oldN], old)
-		if nv := c1[s[0]]; nv != nil {
-			copy(v[oldN:], nv[oldN:])
-		}
-		if nh.frequentSomewhere(v) {
-			l1 = append(l1, s)
-			nh.counts[s.Key()] = v
-			seen[s.Key()] = true
-		}
-	}
-	// Newly frequent items: their old-granule counts must be filled in.
-	var newcomers []itemset.Set
-	for x, nv := range c1 {
-		s := itemset.Set{x}
-		if seen[s.Key()] {
-			continue
-		}
-		if nh.frequentSomewhere(nv) {
-			newcomers = append(newcomers, s)
-		}
-	}
-	if len(newcomers) > 0 {
-		// One scan of the old region for the newcomer items — the only
-		// part of Extend whose cost is proportional to the history, and
-		// it runs only when a brand-new item crosses the threshold.
-		want := make(map[itemset.Item][]int32, len(newcomers))
-		for _, s := range newcomers {
-			want[s[0]] = c1[s[0]]
-		}
-		for g := h.Span.Lo; g <= h.Span.Hi; g++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			gi := int(g - span.Lo)
-			if !nh.Active[gi] {
-				continue
-			}
-			tbl.GranuleSource(nh.Cfg.Granularity, g).ForEach(func(tx itemset.Set) {
-				for _, x := range tx {
-					if v, ok := want[x]; ok {
-						v[gi]++
-					}
-				}
-			})
-		}
-		for _, s := range newcomers {
-			nh.counts[s.Key()] = c1[s[0]]
-			l1 = append(l1, s)
-		}
-	}
-	itemset.SortSets(l1)
-	nh.ByK = append(nh.ByK, l1)
-
-	// Higher levels: regular level-wise generation, but counting is
-	// split — vectors known from the old table are carried and only
-	// topped up on the new granules; unknown candidates are counted
-	// over the whole span.
-	prev := l1
-	for k := 2; len(prev) > 1 && (nh.Cfg.MaxK == 0 || k <= nh.Cfg.MaxK); k++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		cands, _, _ := generateFromSets(prev)
-		if len(cands) == 0 {
-			break
-		}
-		var carried []itemset.Set // tracked before: top up new granules
-		var fresh []itemset.Set   // need full-span counting
-		for _, c := range cands {
-			if h.countsOf(c) != nil {
-				carried = append(carried, c)
-			} else {
-				fresh = append(fresh, c)
-			}
-		}
-		merged := make(map[string][]int32, len(cands))
-		if len(carried) > 0 {
-			newCounts, err := countRange(ctx, tbl, nh, carried, k, newSpan)
-			if err != nil {
-				return nil, err
-			}
-			for i, c := range carried {
-				v := make([]int32, int(span.Len()))
-				copy(v[:oldN], h.counts[c.Key()])
-				copy(v[oldN:], newCounts[i][oldN:])
-				merged[c.Key()] = v
-			}
-		}
-		if len(fresh) > 0 {
-			// A fresh candidate cannot be frequent in an old granule:
-			// if it were, its subsets were frequent there too, so the
-			// old build would have generated and retained it. Count
-			// fresh candidates on the new granules only, and recount
-			// history just for the few that cross the threshold there.
-			newCounts, err := countRange(ctx, tbl, nh, fresh, k, newSpan)
-			if err != nil {
-				return nil, err
-			}
-			var risers []itemset.Set
-			var riserIdx []int
-			for i, c := range fresh {
-				if nh.frequentSomewhere(newCounts[i]) {
-					risers = append(risers, c)
-					riserIdx = append(riserIdx, i)
-				}
-			}
-			if len(risers) > 0 {
-				histCounts, err := countRange(ctx, tbl, nh, risers, k, h.Span)
-				if err != nil {
-					return nil, err
-				}
-				for j, c := range risers {
-					v := newCounts[riserIdx[j]]
-					copy(v[:oldN], histCounts[j][:oldN])
-					merged[c.Key()] = v
-				}
-			}
-		}
-		var level []itemset.Set
-		for _, c := range cands {
-			v := merged[c.Key()]
-			if v != nil && nh.frequentSomewhere(v) {
-				level = append(level, c)
-				nh.counts[c.Key()] = v
-			}
-		}
-		nh.ByK = append(nh.ByK, level)
-		prev = level
-	}
-	return nh, nil
-}
-
-// countRange counts candidates per granule, restricted to granules in
-// r. Output vectors span the whole (new) table. The context is checked
-// once per granule scan.
-func countRange(ctx context.Context, tbl *tdb.TxTable, nh *HoldTable, cands []itemset.Set, k int, r timegran.Interval) ([][]int32, error) {
-	out := make([][]int32, len(cands))
-	for i := range out {
-		out[i] = make([]int32, nh.NGranules())
-	}
-	tree, err := apriori.NewHashTree(cands, k, 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	for g := r.Lo; g <= r.Hi; g++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		gi := int(g - nh.Span.Lo)
-		if gi < 0 || gi >= nh.NGranules() || !nh.Active[gi] {
-			continue
-		}
-		tbl.GranuleSource(nh.Cfg.Granularity, g).ForEach(tree.Add)
-		for i, c := range tree.Counts() {
-			if c != 0 {
-				out[i][gi] = int32(c)
-			}
-		}
-		tree.Reset()
-	}
-	return out, nil
+	return h.MaintainContext(ctx, tbl, dirty)
 }

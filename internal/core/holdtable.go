@@ -269,6 +269,24 @@ func (h *HoldTable) frequentSomewhere(v []int32) bool {
 	return false
 }
 
+// frequentInGranules is frequentSomewhere restricted to the listed
+// granules (assumed active). Maintain uses it on count vectors that are
+// zero outside the dirty region, where scanning the full span per
+// candidate would dominate the whole delta pass. Nil vectors are never
+// frequent.
+func (h *HoldTable) frequentInGranules(v []int32, granules []timegran.Granule) bool {
+	if v == nil {
+		return false
+	}
+	for _, g := range granules {
+		gi := int(g - h.Span.Lo)
+		if int(v[gi]) >= h.MinCounts[gi] {
+			return true
+		}
+	}
+	return false
+}
+
 // eachActiveTx scans the span once, handing each transaction of each
 // active granule to fn with the granule offset. The scan is bounded to
 // the span's row range, so a table holding data outside the span (a

@@ -1,0 +1,386 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/obs"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// Maintain delta-maintains the hold table after appends to tbl touched
+// only the given granules: it returns a new HoldTable that is
+// bit-identical to a cold BuildHoldTable of the current data, but whose
+// cost is proportional to the dirty region, not the span. The receiver
+// is unchanged. dirty is the set of granules (at the table's build
+// granularity) that received appends since the receiver was built —
+// tdb.TxTable.DirtySince produces exactly this list.
+//
+// The splice invariant that makes this sound: appends perturb only the
+// granules they land in. A clean granule keeps its transaction count,
+// therefore its support threshold, therefore every itemset's frequency
+// status in it. So
+//
+//  1. Tracked itemsets are recounted over the dirty granules only and
+//     their fresh per-granule counts spliced into the carried vector;
+//     clean columns are reused verbatim.
+//  2. An itemset not tracked before cannot have become frequent in a
+//     clean granule (if it were frequent there now, it was frequent
+//     there before and would have been tracked — Apriori monotonicity
+//     extends this across levels, see below). Untracked candidates are
+//     therefore counted over the dirty region only, and the few that
+//     cross a threshold there get one candidate-restricted recovery
+//     scan of the clean region to fill in their historical counts.
+//  3. Dirty-granule thresholds can only rise (transaction counts only
+//     grow), so every carried vector is re-filtered through the new
+//     thresholds; itemsets frequent only in a dirty granule can drop
+//     out, exactly as a cold rebuild would drop them.
+//
+// The cross-level argument for (2): suppose candidate c at level k is
+// frequent in a clean granule but was not tracked. Monotonicity makes
+// every (k-1)-subset of c frequent in that clean granule — in the old
+// data too, since the granule is clean — so every subset was tracked,
+// so the old build generated and counted c, and, c being frequent in
+// the clean granule then as now, retained it. Contradiction.
+//
+// Maintain returns an error (and the caller should fall back to a cold
+// rebuild) when the dirty list provably misses a changed granule, when
+// the table shrank, or when no granule is active.
+func (h *HoldTable) Maintain(tbl *tdb.TxTable, dirty []timegran.Granule) (*HoldTable, error) {
+	return h.MaintainContext(context.Background(), tbl, dirty)
+}
+
+// MaintainContext is Maintain under a context; cancellation is observed
+// between levels and between granule scans, never per transaction.
+func (h *HoldTable) MaintainContext(ctx context.Context, tbl *tdb.TxTable, dirty []timegran.Granule) (*HoldTable, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(h.ByK) < 2 {
+		return nil, fmt.Errorf("core: Maintain on an unbuilt hold table")
+	}
+	span, ok := tbl.Span(h.Cfg.Granularity)
+	if !ok {
+		return nil, fmt.Errorf("core: Maintain on an empty table")
+	}
+	if span.Lo > h.Span.Lo || span.Hi < h.Span.Hi {
+		return nil, fmt.Errorf("core: Maintain: span shrank from %v to %v; rebuild instead", h.Span, span)
+	}
+	n := int(span.Len())
+	off := int(h.Span.Lo - span.Lo) // re-basing offset of old vectors
+	oldN := h.NGranules()
+
+	tr := h.Cfg.tracer()
+	if tr.Enabled() {
+		tr.StartTask("core.MaintainHoldTable")
+		defer tr.EndTask()
+		tr.Gauge(obs.MetricGranules, float64(n))
+		tr.Gauge(obs.MetricGranulesDirty, float64(len(dirty)))
+	}
+
+	nh := &HoldTable{
+		Cfg:       h.Cfg,
+		Span:      span,
+		TxCounts:  tbl.GranuleCounts(h.Cfg.Granularity, span),
+		MinCounts: make([]int, n),
+		Active:    make([]bool, n),
+		ByK:       [][]itemset.Set{nil},
+		counts:    make(map[string][]int32, len(h.counts)),
+	}
+	for i, txc := range nh.TxCounts {
+		if txc >= nh.Cfg.MinGranuleTx {
+			nh.Active[i] = true
+			nh.NActive++
+			nh.MinCounts[i] = ceilCount(nh.Cfg.MinSupport, txc)
+		}
+	}
+	if nh.NActive == 0 {
+		return nil, fmt.Errorf("core: no granule has at least %d transactions", nh.Cfg.MinGranuleTx)
+	}
+
+	// Dirty membership by new-span offset, with the soundness check: a
+	// granule whose transaction count changed (old count 0 outside the
+	// old span) must be in the dirty list, or the list is incomplete and
+	// splicing would silently serve stale counts.
+	dirtySet := make([]bool, n)
+	for _, g := range dirty {
+		gi := int(g - span.Lo)
+		if gi < 0 || gi >= n {
+			return nil, fmt.Errorf("core: Maintain: dirty granule %d outside table span %v", g, span)
+		}
+		dirtySet[gi] = true
+	}
+	for gi, txc := range nh.TxCounts {
+		old := 0
+		if gi >= off && gi-off < oldN {
+			old = h.TxCounts[gi-off]
+		}
+		if txc != old && !dirtySet[gi] {
+			return nil, fmt.Errorf("core: Maintain: granule %d changed (%d → %d tx) but is not in the dirty list; rebuild instead",
+				span.Lo+timegran.Granule(gi), old, txc)
+		}
+	}
+	// Active dirty granules drive all recounting; inactive ones hold no
+	// counts in a cold build either.
+	var dirtyActive []timegran.Granule
+	for _, g := range dirty {
+		if nh.Active[int(g-span.Lo)] {
+			dirtyActive = append(dirtyActive, g)
+		}
+	}
+	// Clean active granules, for newcomer recovery scans.
+	var cleanActive []timegran.Granule
+	for gi := 0; gi < n; gi++ {
+		if nh.Active[gi] && !dirtySet[gi] {
+			cleanActive = append(cleanActive, span.Lo+timegran.Granule(gi))
+		}
+	}
+
+	// rebase widens an old count vector to the new span, leaving dirty
+	// columns zeroed for the splice.
+	rebase := func(old []int32) []int32 {
+		v := make([]int32, n)
+		copy(v[off:off+oldN], old)
+		for gi := range dirtySet {
+			if dirtySet[gi] {
+				v[gi] = 0
+			}
+		}
+		return v
+	}
+
+	// Level 1: per-item counts over the active dirty granules only.
+	c1 := make(map[itemset.Item][]int32)
+	for _, g := range dirtyActive {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		gi := int(g - span.Lo)
+		tbl.GranuleSource(nh.Cfg.Granularity, g).ForEach(func(tx itemset.Set) {
+			for _, x := range tx {
+				v := c1[x]
+				if v == nil {
+					v = make([]int32, n)
+					c1[x] = v
+				}
+				v[gi]++
+			}
+		})
+	}
+	var l1 []itemset.Set
+	tracked := make(map[string]bool, len(h.ByK[1]))
+	for _, s := range h.ByK[1] {
+		tracked[s.Key()] = true
+		v := rebase(h.counts[s.Key()])
+		if nv := c1[s[0]]; nv != nil {
+			for gi, dirt := range dirtySet {
+				if dirt {
+					v[gi] = nv[gi]
+				}
+			}
+		}
+		if nh.frequentSomewhere(v) {
+			l1 = append(l1, s)
+			nh.counts[s.Key()] = v
+		}
+	}
+	// Items seen in the dirty region at all. A higher-level candidate
+	// whose items are not all present there cannot have a nonzero dirty
+	// count, so the per-level recounts below skip it outright.
+	dirtyItems := make(map[itemset.Item]bool, len(c1))
+	for x := range c1 {
+		dirtyItems[x] = true
+	}
+	var newcomers []itemset.Set
+	for x, nv := range c1 {
+		s := itemset.Set{x}
+		if tracked[s.Key()] {
+			continue
+		}
+		if nh.frequentInGranules(nv, dirtyActive) {
+			newcomers = append(newcomers, s)
+		}
+	}
+	if len(newcomers) > 0 {
+		// The only history-proportional part: recover the clean-region
+		// counts of items that just became granule-frequent.
+		want := make(map[itemset.Item][]int32, len(newcomers))
+		for _, s := range newcomers {
+			want[s[0]] = c1[s[0]]
+		}
+		for _, g := range cleanActive {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			gi := int(g - span.Lo)
+			tbl.GranuleSource(nh.Cfg.Granularity, g).ForEach(func(tx itemset.Set) {
+				for _, x := range tx {
+					if v, ok := want[x]; ok {
+						v[gi]++
+					}
+				}
+			})
+		}
+		for _, s := range newcomers {
+			nh.counts[s.Key()] = c1[s[0]]
+			l1 = append(l1, s)
+		}
+	}
+	itemset.SortSets(l1)
+	nh.ByK = append(nh.ByK, l1)
+
+	// Higher levels replay the cold build's level-wise loop — same
+	// generation, same stopping rule — but each candidate batch is
+	// counted over the dirty region only, spliced into carried vectors,
+	// and untracked candidates that cross a threshold there get one
+	// clean-region recovery pass.
+	prev := l1
+	for k := 2; len(prev) > 1 && (nh.Cfg.MaxK == 0 || k <= nh.Cfg.MaxK); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cands, _, _ := generateFromSets(prev)
+		if len(cands) == 0 {
+			break
+		}
+		// Count only the candidates that can occur in the dirty region;
+		// the rest keep a nil (all-zero) dirty vector.
+		var countable []itemset.Set
+		var countIdx []int
+		for i, c := range cands {
+			all := true
+			for _, x := range c {
+				if !dirtyItems[x] {
+					all = false
+					break
+				}
+			}
+			if all {
+				countable = append(countable, c)
+				countIdx = append(countIdx, i)
+			}
+		}
+		dirtyCounts := make([][]int32, len(cands))
+		if len(countable) > 0 {
+			counted, err := countGranules(ctx, tbl, nh, countable, k, dirtyActive)
+			if err != nil {
+				return nil, err
+			}
+			for j, i := range countIdx {
+				dirtyCounts[i] = counted[j]
+			}
+		}
+		var risers []itemset.Set
+		var riserIdx []int
+		for i, c := range cands {
+			// Dirty-frequency first: it is a few column compares (false
+			// for the nil vectors most candidates keep), cheaper than the
+			// countsOf key lookup.
+			if nh.frequentInGranules(dirtyCounts[i], dirtyActive) && h.countsOf(c) == nil {
+				risers = append(risers, c)
+				riserIdx = append(riserIdx, i)
+			}
+		}
+		if len(risers) > 0 {
+			histCounts, err := countGranules(ctx, tbl, nh, risers, k, cleanActive)
+			if err != nil {
+				return nil, err
+			}
+			for j := range risers {
+				hist := histCounts[j]
+				if hist == nil {
+					continue // no clean-region occurrences: zeros are right
+				}
+				v := dirtyCounts[riserIdx[j]]
+				for gi := 0; gi < n; gi++ {
+					if !dirtySet[gi] {
+						v[gi] = hist[gi]
+					}
+				}
+			}
+		}
+		var level []itemset.Set
+		for i, c := range cands {
+			if old := h.countsOf(c); old != nil {
+				v := rebase(old)
+				if dc := dirtyCounts[i]; dc != nil {
+					for gi, dirt := range dirtySet {
+						if dirt {
+							v[gi] = dc[gi]
+						}
+					}
+				}
+				if nh.frequentSomewhere(v) {
+					level = append(level, c)
+					nh.counts[c.Key()] = v
+				}
+				continue
+			}
+			// Untracked: by the splice invariant it cannot be frequent in
+			// a clean granule, so dirty-region frequency decides — and a
+			// riser's recovered clean history never changes the verdict.
+			if nh.frequentInGranules(dirtyCounts[i], dirtyActive) {
+				level = append(level, c)
+				nh.counts[c.Key()] = dirtyCounts[i]
+			}
+		}
+		nh.ByK = append(nh.ByK, level)
+		prev = level
+	}
+	if tr.Enabled() {
+		tr.Counter(obs.MetricItemsetsFrequent, int64(nh.TotalItemsets()))
+	}
+	return nh, nil
+}
+
+// smallSourceRows is the row budget under which countGranules counts
+// by subset enumeration (MapCounter) instead of building a hash tree:
+// for a typical append batch the tree construction over thousands of
+// candidates costs far more than scanning the handful of dirty rows.
+const smallSourceRows = 4096
+
+// countGranules counts cands per granule over the listed granules (all
+// assumed active), one counter built per level and reused per granule.
+// Output vectors span the whole new table with unlisted granules zero;
+// a candidate with no occurrence at all gets a nil vector rather than
+// an allocated all-zero one, so a large candidate level counted over a
+// tiny dirty region stays cheap.
+func countGranules(ctx context.Context, tbl *tdb.TxTable, nh *HoldTable, cands []itemset.Set, k int, granules []timegran.Granule) ([][]int32, error) {
+	out := make([][]int32, len(cands))
+	if len(granules) == 0 {
+		return out, nil
+	}
+	rows := 0
+	for _, g := range granules {
+		rows += tbl.CountRange(nh.Cfg.Granularity, timegran.Interval{Lo: g, Hi: g})
+	}
+	var lc interface{ Count(apriori.Source) []int }
+	if rows <= smallSourceRows && k <= 4 {
+		lc = apriori.NewMapCounter(cands, k)
+	} else {
+		tree, err := apriori.NewLevelCounter(cands, k)
+		if err != nil {
+			return nil, err
+		}
+		lc = tree
+	}
+	for _, g := range granules {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		gi := int(g - nh.Span.Lo)
+		counts := lc.Count(tbl.GranuleSource(nh.Cfg.Granularity, g))
+		for i, c := range counts {
+			if c != 0 {
+				if out[i] == nil {
+					out[i] = make([]int32, nh.NGranules())
+				}
+				out[i][gi] = int32(c)
+			}
+		}
+	}
+	return out, nil
+}

@@ -808,6 +808,187 @@ func TestDifferentialOracle(t *testing.T) {
 		checked, len(backendMatrix))
 }
 
+// ---------------------------------------------------------------------
+// Append-interleaved grid: delta maintenance under random write
+// traffic must stay bit-identical to a cold rebuild, across backends.
+
+// bruteRebuild re-derives the brute reference for the current contents
+// of a per-granule transcript (the append-interleaved grid's running
+// mirror of the table).
+func bruteRebuild(cfg Config, items []itemset.Item, byG map[timegran.Granule][]itemset.Set) *bruteTable {
+	var lo, hi timegran.Granule
+	first := true
+	for g, txs := range byG {
+		if len(txs) == 0 {
+			continue
+		}
+		if first || g < lo {
+			lo = g
+		}
+		if first || g > hi {
+			hi = g
+		}
+		first = false
+	}
+	n := int(hi - lo + 1)
+	txs := make([][]itemset.Set, n)
+	for g, list := range byG {
+		txs[g-lo] = list
+	}
+	return bruteBuild(oracleData{cfg: cfg, items: items, txs: txs, spanLo: lo})
+}
+
+// checkIdenticalTables asserts two hold tables are bit-identical:
+// same span, same per-granule metadata, same levels in the same order,
+// same count vectors.
+func checkIdenticalTables(t *testing.T, tag string, got, want *HoldTable) {
+	t.Helper()
+	if got.Span != want.Span {
+		t.Fatalf("%s: span %v, cold rebuild %v", tag, got.Span, want.Span)
+	}
+	for gi := range want.TxCounts {
+		if got.TxCounts[gi] != want.TxCounts[gi] || got.Active[gi] != want.Active[gi] ||
+			got.MinCounts[gi] != want.MinCounts[gi] {
+			t.Fatalf("%s: granule %d: tx/active/min = %d/%v/%d, cold rebuild %d/%v/%d", tag, gi,
+				got.TxCounts[gi], got.Active[gi], got.MinCounts[gi],
+				want.TxCounts[gi], want.Active[gi], want.MinCounts[gi])
+		}
+	}
+	if len(got.ByK) != len(want.ByK) {
+		t.Fatalf("%s: %d levels, cold rebuild %d", tag, len(got.ByK), len(want.ByK))
+	}
+	for k := 1; k < len(want.ByK); k++ {
+		if len(got.ByK[k]) != len(want.ByK[k]) {
+			t.Fatalf("%s: level %d has %d itemsets, cold rebuild %d\n got %v\nwant %v",
+				tag, k, len(got.ByK[k]), len(want.ByK[k]), got.ByK[k], want.ByK[k])
+		}
+		for i, s := range want.ByK[k] {
+			if !got.ByK[k][i].Equal(s) {
+				t.Fatalf("%s: level %d itemset %d = %v, cold rebuild %v", tag, k, i, got.ByK[k][i], s)
+			}
+			gv, wv := got.Counts(s), want.Counts(s)
+			for gi := range wv {
+				if gv[gi] != wv[gi] {
+					t.Fatalf("%s: counts(%v)[%d] = %d, cold rebuild %d", tag, s, gi, gv[gi], wv[gi])
+				}
+			}
+		}
+	}
+}
+
+// TestAppendInterleavedOracle interleaves random append batches with
+// maintenance rounds: each round appends 1-3 batches (inside the span,
+// extending it on either side, reviving inactive granules), derives the
+// dirty set through DirtySince, delta-maintains one hold-table chain
+// per backend configuration, and requires every maintained table to be
+// bit-identical to a cold rebuild of the same data AND to agree with
+// the brute-force reference. Task I is re-mined from the maintained and
+// rebuilt tables each round as the interleaved "statement".
+func TestAppendInterleavedOracle(t *testing.T) {
+	const cases = 25
+	const rounds = 4
+	checked := 0
+	for c := 0; c < cases; c++ {
+		rng := rand.New(rand.NewSource(int64(7000 + c)))
+		d := genDataset(rng)
+		if !d.active() {
+			continue
+		}
+		checked++
+
+		// Running per-granule transcript mirroring the table, for the
+		// brute reference.
+		byG := map[timegran.Granule][]itemset.Set{}
+		for gi, g := range d.txs {
+			if len(g) > 0 {
+				byG[d.spanLo+timegran.Granule(gi)] = append([]itemset.Set(nil), g...)
+			}
+		}
+
+		// One maintained chain per backend configuration, all rooted at
+		// the same epoch.
+		maint := make([]*HoldTable, len(backendMatrix))
+		cfgs := make([]Config, len(backendMatrix))
+		for i, m := range backendMatrix {
+			cfg := d.cfg
+			cfg.Backend = m.backend
+			cfg.Workers = m.workers
+			cfgs[i] = cfg
+			h, err := BuildHoldTable(d.tbl, cfg)
+			if err != nil {
+				t.Fatalf("case %d %v/w%d: %v", c, m.backend, m.workers, err)
+			}
+			maint[i] = h
+		}
+		since := d.tbl.Epoch()
+
+		for round := 0; round < rounds; round++ {
+			span, _ := d.tbl.Span(timegran.Day)
+			for j := 1 + rng.Intn(3); j > 0; j-- {
+				// Granules drawn from a window two days wider than the
+				// span on each side, so rounds extend it in both
+				// directions and land in inactive granules too.
+				g := span.Lo - 2 + timegran.Granule(rng.Intn(int(span.Len())+4))
+				for x := 1 + rng.Intn(4); x > 0; x-- {
+					var s []itemset.Item
+					for _, it := range d.items {
+						if rng.Float64() < 0.5 {
+							s = append(s, it)
+						}
+					}
+					if len(s) == 0 {
+						s = append(s, d.items[rng.Intn(len(d.items))])
+					}
+					set := itemset.New(s...)
+					d.tbl.Append(timegran.Start(g, timegran.Day), set)
+					byG[g] = append(byG[g], set)
+				}
+			}
+			dirty, epoch, ok := d.tbl.DirtySince(timegran.Day, since)
+			if !ok {
+				t.Fatalf("case %d round %d: DirtySince lost the change log", c, round)
+			}
+			since = epoch
+			b := bruteRebuild(d.cfg, d.items, byG)
+
+			for i := range maint {
+				tag := fmt.Sprintf("case %d round %d %v/w%d", c, round, cfgs[i].Backend, cfgs[i].Workers)
+				nh, err := maint[i].Maintain(d.tbl, dirty)
+				if err != nil {
+					t.Fatalf("%s: Maintain: %v", tag, err)
+				}
+				cold, err := BuildHoldTable(d.tbl, cfgs[i])
+				if err != nil {
+					t.Fatalf("%s: rebuild: %v", tag, err)
+				}
+				checkHoldTable(t, tag+" (vs oracle)", nh, b)
+				checkIdenticalTables(t, tag, nh, cold)
+				maint[i] = nh
+
+				// The interleaved statement: Task I must answer the same
+				// off the maintained table as off the rebuilt one.
+				mp, err1 := MineValidPeriodsFromTable(nh, PeriodConfig{MinLen: 1})
+				cp, err2 := MineValidPeriodsFromTable(cold, PeriodConfig{MinLen: 1})
+				if (err1 == nil) != (err2 == nil) || len(mp) != len(cp) {
+					t.Fatalf("%s: %d period rules (err %v) off maintained, %d (err %v) off rebuild",
+						tag, len(mp), err1, len(cp), err2)
+				}
+				for ri := range cp {
+					if mp[ri].Interval != cp[ri].Interval {
+						t.Fatalf("%s: period %d interval %v, rebuild %v", tag, ri, mp[ri].Interval, cp[ri].Interval)
+					}
+					sameTemporal(t, fmt.Sprintf("%s period %d", tag, ri), mp[ri].TemporalRule, cp[ri].TemporalRule)
+				}
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d datasets exercised, need ≥ 20", checked)
+	}
+	t.Logf("append-interleaved oracle: %d datasets × %d rounds agreed across %d backend configurations",
+		checked, rounds, len(backendMatrix))
+}
+
 // TestOracleSelfCheck pins the brute-force reference on a hand-built
 // dataset, so a bug in the oracle itself cannot silently agree with a
 // matching bug in the system.

@@ -82,7 +82,7 @@ type QueryRecord struct {
 	Task             string      `json:"task,omitempty"`
 	Start            time.Time   `json:"start"`
 	WallMS           float64     `json:"wall_ms"`
-	Cache            string      `json:"cache,omitempty"`   // hit, rethreshold, dedup, cold, ""
+	Cache            string      `json:"cache,omitempty"`   // hit, rethreshold, delta, dedup, cold, ""
 	Backend          string      `json:"backend,omitempty"` // backend that counted
 	PredictedBackend string      `json:"predicted_backend,omitempty"`
 	PredictedCost    float64     `json:"predicted_cost,omitempty"`

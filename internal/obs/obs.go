@@ -106,6 +106,7 @@ const (
 	MetricRulesEmitted     = "rules_emitted"     // rules a task driver returned (counter)
 	MetricGranules         = "granules"          // span length of a hold-table build (gauge)
 	MetricGranulesActive   = "granules_active"   // active granules of a hold-table build (gauge)
+	MetricGranulesDirty    = "granules_dirty"    // dirty granules recounted by a delta maintenance (gauge)
 	MetricHoldCells        = "hold_cells"        // itemsets × granules retained by a hold table (gauge)
 	MetricItemsetsFrequent = "itemsets_frequent" // frequent (or granule-frequent) itemsets (counter)
 	MetricStatements       = "statements"        // TML statements executed (counter)
@@ -122,6 +123,7 @@ const (
 	MetricCacheMisses        = "holdcache_misses"         // misses that triggered a build (counter)
 	MetricCacheDedups        = "holdcache_dedups"         // statements that joined an in-flight build (counter)
 	MetricCacheEvictions     = "holdcache_evictions"      // entries evicted for space (counter)
+	MetricCacheDeltas        = "holdcache_deltas"         // stale entries refreshed by delta maintenance (counter)
 	MetricCacheInvalidations = "holdcache_invalidations"  // entries dropped on table writes (counter)
 	MetricCacheResidentCells = "holdcache_resident_cells" // itemsets × granules resident in the cache (gauge)
 )

@@ -1,0 +1,164 @@
+// Batched ingest: POST /v1/append accepts a batch of timestamped
+// transactions for one table, admission-controlled through the same
+// pool as statements so a write burst backpressures instead of starving
+// the miners. Appends feed the table's change log, so a warm hold-table
+// cache entry is delta-maintained on the next MINE rather than
+// invalidated.
+
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/obs"
+	"github.com/tarm-project/tarm/internal/tdb"
+)
+
+// Append metric names, next to the tarmd_* statement metrics.
+const (
+	MetricAppends       = "tarmd_appends_total"    // append batches admitted (counter)
+	MetricAppendTx      = "tarmd_append_tx_total"  // transactions appended (counter)
+	MetricAppendErrors  = "tarmd_append_err_total" // append batches failed (counter)
+	MetricAppendLatency = "tarmd_append_seconds"   // end-to-end append latency (histogram)
+)
+
+// maxAppendBody bounds append bodies: batches are bigger than
+// statements, but an ingest endpoint is not a bulk loader.
+const maxAppendBody = 8 << 20
+
+// appendRequest is the POST /v1/append JSON body.
+type appendRequest struct {
+	Table        string     `json:"table"`
+	Transactions []appendTx `json:"transactions"`
+}
+
+// appendTx is one transaction of an append batch. Items are names,
+// interned into the database dictionary on arrival.
+type appendTx struct {
+	At    time.Time `json:"at"`
+	Items []string  `json:"items"`
+}
+
+// appendResponse reports what landed: the count, the table's write
+// epoch after the batch (which the next MINE's delta maintenance will
+// catch up to) and timing.
+type appendResponse struct {
+	Table     string  `json:"table"`
+	RequestID string  `json:"request_id,omitempty"`
+	Appended  int     `json:"appended"`
+	Epoch     int64   `json:"epoch"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
+// handleAppend admits and applies one append batch.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	req, err := readAppend(r)
+	if err != nil {
+		s.reg.Counter(MetricAppendErrors).Add(1)
+		s.reject(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	tbl, ok := s.db.TxTable(req.Table)
+	if !ok {
+		s.reg.Counter(MetricAppendErrors).Add(1)
+		s.reject(w, http.StatusNotFound, fmt.Sprintf("tarmd: no transaction table %q", req.Table))
+		return
+	}
+
+	// Admission control, identical to statements: drain refuses, the
+	// pool bounds concurrency, the queue bounds waiting.
+	if s.draining.Load() {
+		s.reg.Counter(MetricDraining).Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		s.reject(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if n := s.admitted.Add(1); n > int64(s.cfg.Pool+s.cfg.Queue) {
+		s.admitted.Add(-1)
+		s.reg.Counter(MetricQueueFull).Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		s.reject(w, http.StatusTooManyRequests,
+			fmt.Sprintf("statement queue full (%d executing + %d waiting)", s.cfg.Pool, s.cfg.Queue))
+		return
+	}
+	s.wg.Add(1)
+	defer s.wg.Done()
+	defer func() {
+		s.admitted.Add(-1)
+		s.gauges()
+	}()
+	s.reg.Counter(MetricAppends).Add(1)
+	s.gauges()
+
+	ctx := r.Context()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.reg.Counter(MetricAppendErrors).Add(1)
+		s.reject(w, http.StatusBadRequest, ctx.Err().Error())
+		return
+	}
+	s.inflight.Add(1)
+	s.gauges()
+	defer func() {
+		<-s.sem
+		s.inflight.Add(-1)
+		s.gauges()
+	}()
+
+	// Journal the batch like a statement, under the request's trace ID,
+	// so the query history interleaves reads and writes.
+	stmtText := fmt.Sprintf("APPEND %d tx INTO %s", len(req.Transactions), req.Table)
+	inflight := s.journal.Begin(obs.TraceFromContext(ctx), stmtText, "append")
+
+	start := time.Now()
+	batch := make([]tdb.Tx, len(req.Transactions))
+	for i, tx := range req.Transactions {
+		batch[i] = tdb.Tx{At: tx.At, Items: s.db.Dict().InternAll(tx.Items...)}
+	}
+	_, epoch := tbl.AppendBatch(batch)
+	wall := time.Since(start)
+
+	s.reg.Histogram(MetricAppendLatency).Observe(wall.Seconds())
+	s.reg.Counter(MetricAppendTx).Add(int64(len(batch)))
+	inflight.End(obs.QueryOutcome{Rows: len(batch)})
+
+	writeJSON(w, http.StatusOK, appendResponse{
+		Table:     req.Table,
+		RequestID: w.Header().Get("X-Request-ID"),
+		Appended:  len(batch),
+		Epoch:     epoch,
+		WallMS:    float64(wall) / float64(time.Millisecond),
+	})
+}
+
+// readAppend decodes and validates the append body.
+func readAppend(r *http.Request) (appendRequest, error) {
+	var req appendRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxAppendBody))
+	if err != nil {
+		return req, fmt.Errorf("tarmd: reading body: %w", err)
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, fmt.Errorf("tarmd: bad JSON body: %w", err)
+	}
+	if req.Table == "" {
+		return req, fmt.Errorf("tarmd: append without a table")
+	}
+	if len(req.Transactions) == 0 {
+		return req, fmt.Errorf("tarmd: append with no transactions")
+	}
+	for i, tx := range req.Transactions {
+		if tx.At.IsZero() {
+			return req, fmt.Errorf("tarmd: transaction %d has no timestamp", i)
+		}
+		if len(tx.Items) == 0 {
+			return req, fmt.Errorf("tarmd: transaction %d has no items", i)
+		}
+	}
+	return req, nil
+}

@@ -33,6 +33,7 @@
 // Endpoints:
 //
 //	POST /v1/statements    execute one MINE or EXPLAIN MINE statement
+//	POST /v1/append        append a batch of transactions to a table
 //	GET  /v1/tables        list tables (name, kind, rows)
 //	GET  /v1/queries       recent statements + statements in flight
 //	GET  /v1/queries/{id}  one statement (by request ID or seq) with
@@ -189,6 +190,7 @@ func New(db *tdb.DB, cfg Config) *Server {
 	// endpoints, so one port serves both traffic and diagnostics.
 	s.mux = obs.DebugMux(s.reg)
 	s.mux.HandleFunc("POST /v1/statements", s.handleStatement)
+	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
 	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
 	s.mux.HandleFunc("GET /v1/queries", s.handleQueries)
 	s.mux.HandleFunc("GET /v1/queries/{id}", s.handleQueryByID)

@@ -32,12 +32,50 @@ type TxTable struct {
 	nextID int64
 	epoch  int64
 
+	// Append change log: one record per append, oldest first, epochs
+	// strictly increasing. Bounded at changeLogCap; once trimmed, the
+	// oldest retained record marks how far back DirtySince can answer.
+	log []changeRec
+
+	// Item sets appended since the stats cache last drained, guarded by
+	// mu (NOT statsMu: appendLocked already holds mu, and CountStats
+	// locks statsMu before mu, so touching statsMu here would invert
+	// the lock order). Slice headers only — backing arrays are shared
+	// with txs. Bounded at statsPendingCap; once the bound is hit the
+	// list stops tracking and the next CountStats falls back to a full
+	// scan (it detects the gap via the epoch arithmetic).
+	statsPending []itemset.Set
+
 	// Cost-model statistics, cached per write epoch (see CountStats).
-	statsMu    sync.Mutex
-	statsEpoch int64
-	statsOK    bool
-	statsVal   apriori.CountStats
+	// statsCounts is the raw per-item occurrence map the aggregate is
+	// derived from; keeping it lets CountStats absorb appends by
+	// draining statsPending instead of rescanning the table.
+	statsMu     sync.Mutex
+	statsEpoch  int64
+	statsOK     bool
+	statsVal    apriori.CountStats
+	statsCounts map[itemset.Item]int
 }
+
+// statsPendingCap bounds the stats pending list (memory, not
+// correctness: a trimmed list fails the drain invariant and forces a
+// full rescan).
+const statsPendingCap = 1 << 16
+
+// changeRec is one entry of the append change log: the epoch the append
+// produced and the transaction timestamp, from which the touched
+// granule at any granularity can be derived on demand.
+type changeRec struct {
+	epoch int64
+	at    time.Time
+}
+
+// changeLogCap bounds the append change log. When the log fills, the
+// oldest half is dropped; DirtySince then reports windows reaching past
+// the retained prefix as uncovered, and callers fall back to a full
+// rebuild. 64k records (~1.5 MB) covers far more appends than any
+// cached hold table is worth delta-maintaining across.
+const changeLogCap = 1 << 16
 
 // NewTxTable creates an empty transaction table.
 func NewTxTable(name string) (*TxTable, error) {
@@ -58,22 +96,93 @@ func (t *TxTable) Len() int {
 }
 
 // Append stores a transaction and returns its assigned ID. The items
-// are canonicalised defensively. Every append bumps the table's epoch,
-// invalidating any derived structure keyed on it.
+// are canonicalised defensively. Every append bumps the table's epoch
+// and records the touched timestamp in the change log, so derived
+// structures keyed on the epoch can either invalidate or delta-maintain
+// themselves (see DirtySince).
 func (t *TxTable) Append(at time.Time, items itemset.Set) int64 {
 	if !items.Valid() {
 		items = itemset.New(items...)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.appendLocked(at, items)
+}
+
+// AppendBatch appends a batch of transactions under a single lock
+// acquisition and epoch-log update per row, in slice order. It returns
+// the ID of the first appended transaction and the table epoch after
+// the batch; with the write lock held throughout, the batch is atomic
+// with respect to concurrent scans and epoch reads.
+func (t *TxTable) AppendBatch(txs []Tx) (firstID, epoch int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	firstID = t.nextID
+	for _, tx := range txs {
+		items := tx.Items
+		if !items.Valid() {
+			items = itemset.New(items...)
+		}
+		t.appendLocked(tx.At, items)
+	}
+	return firstID, t.epoch
+}
+
+// appendLocked does the actual insert; callers hold the write lock and
+// have canonicalised items.
+func (t *TxTable) appendLocked(at time.Time, items itemset.Set) int64 {
 	id := t.nextID
 	t.nextID++
 	if n := len(t.txs); n > 0 && t.txs[n-1].At.After(at) {
 		t.sorted = false
 	}
-	t.txs = append(t.txs, Tx{ID: id, At: at.UTC(), Items: items})
+	at = at.UTC()
+	t.txs = append(t.txs, Tx{ID: id, At: at, Items: items})
 	t.epoch++
+	if len(t.statsPending) < statsPendingCap {
+		t.statsPending = append(t.statsPending, items)
+	}
+	if len(t.log) >= changeLogCap {
+		// Drop the oldest half; the retained suffix stays contiguous in
+		// epoch, which is all DirtySince needs.
+		keep := len(t.log) / 2
+		copy(t.log, t.log[len(t.log)-keep:])
+		t.log = t.log[:keep]
+	}
+	t.log = append(t.log, changeRec{epoch: t.epoch, at: at})
 	return id
+}
+
+// DirtySince reports which granules at granularity g were touched by
+// appends after write epoch since: the sorted, deduplicated granules of
+// every append with epoch > since, plus the table's current epoch. ok
+// is false when the change log has been trimmed past since (or since is
+// from another table's history), in which case the caller cannot know
+// the dirty set and must rebuild from scratch. since equal to the
+// current epoch returns an empty dirty set with ok true.
+func (t *TxTable) DirtySince(g timegran.Granularity, since int64) (dirty []timegran.Granule, epoch int64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	epoch = t.epoch
+	if since == epoch {
+		return nil, epoch, true
+	}
+	if since > epoch || len(t.log) == 0 || t.log[0].epoch > since+1 {
+		return nil, epoch, false
+	}
+	// Epochs in the log are strictly increasing: binary-search the first
+	// record past since.
+	i := sort.Search(len(t.log), func(i int) bool { return t.log[i].epoch > since })
+	seen := make(map[timegran.Granule]struct{})
+	for ; i < len(t.log); i++ {
+		n := timegran.GranuleOf(t.log[i].at, g)
+		if _, dup := seen[n]; !dup {
+			seen[n] = struct{}{}
+			dirty = append(dirty, n)
+		}
+	}
+	sort.Slice(dirty, func(a, b int) bool { return dirty[a] < dirty[b] })
+	return dirty, epoch, true
 }
 
 // Epoch returns the table's write epoch: a counter bumped by every
@@ -225,9 +334,12 @@ func (t *TxTable) All() apriori.Source {
 // CountStats summarises the table's shape for the counting cost model
 // (internal/apriori): transaction count, distinct items, occurrences
 // and the per-item density histogram. Granules is left 0 for the
-// caller to set from its own span. The scan is cached per write epoch,
-// so repeated plan builds (EXPLAIN, then execute) cost one scan per
-// table version.
+// caller to set from its own span. The scan is cached per write epoch
+// and maintained incrementally under appends: a stale cache drains the
+// pending-append list into the retained per-item count map and
+// re-aggregates in O(distinct items), so plan builds under write
+// traffic do not rescan the table. A full scan happens only on the
+// first call or after the pending list overflowed its bound.
 func (t *TxTable) CountStats() apriori.CountStats {
 	t.statsMu.Lock()
 	defer t.statsMu.Unlock()
@@ -237,17 +349,36 @@ func (t *TxTable) CountStats() apriori.CountStats {
 	if t.statsOK && t.statsEpoch == epoch {
 		return t.statsVal
 	}
-	counts := make(map[itemset.Item]int)
-	t.mu.RLock()
+	// The cache is stale. Capture the pending appends, the epoch and
+	// (for the fallback) the rows in one write-locked critical section,
+	// so the counts attributed to statsEpoch match exactly the rows
+	// that existed at that epoch — a scan outside the section could
+	// see appends that a later drain would then double count.
+	t.mu.Lock()
+	epoch = t.epoch
 	n := len(t.txs)
-	for _, tx := range t.txs {
-		for _, x := range tx.Items {
-			counts[x]++
+	pending := t.statsPending
+	t.statsPending = nil
+	if t.statsOK && t.statsCounts != nil && int64(len(pending)) == epoch-t.statsEpoch {
+		// Every missed append is in the pending list: drain it.
+		t.mu.Unlock()
+		for _, set := range pending {
+			for _, x := range set {
+				t.statsCounts[x]++
+			}
 		}
+	} else {
+		counts := make(map[itemset.Item]int, len(t.statsCounts))
+		for _, tx := range t.txs {
+			for _, x := range tx.Items {
+				counts[x]++
+			}
+		}
+		t.mu.Unlock()
+		t.statsCounts = counts
 	}
-	t.mu.RUnlock()
 	s := apriori.CountStats{N: n}
-	for _, c := range counts {
+	for _, c := range t.statsCounts {
 		s.AddItem(c)
 	}
 	t.statsVal, t.statsEpoch, t.statsOK = s, epoch, true

@@ -1,0 +1,75 @@
+package tml
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+	"github.com/tarm-project/tarm/internal/obs"
+)
+
+// TestExplainAndJournalDelta: after an append to a table with a warm
+// cache entry, EXPLAIN annotates the hold operator cache=delta and the
+// journal records the delta outcome; the statement's rows match a
+// cache-disabled (cold) run exactly.
+func TestExplainAndJournalDelta(t *testing.T) {
+	db := fixtureDB(t)
+	ex := NewExecutor(db)
+	ex.Journal = obs.NewJournal(obs.JournalConfig{})
+	const input = `MINE PERIODS FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7 FREQUENCY 1.0`
+
+	if _, err := ex.Exec(input); err != nil {
+		t.Fatal(err)
+	}
+	// One new day of data lands.
+	tbl, _ := db.TxTable("baskets")
+	bread := itemset.Item(db.Dict().Intern("bread"))
+	milk := itemset.Item(db.Dict().Intern("milk"))
+	at := time.Date(2024, 1, 29, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		tbl.Append(at.Add(time.Duration(i)*time.Minute), itemset.New(bread, milk))
+	}
+
+	warm := strings.Join(planLines(t, ex, input), "\n")
+	if !strings.Contains(warm, "cached-hold (cache=delta") {
+		t.Errorf("plan after append does not show the delta path:\n%s", warm)
+	}
+
+	stmt, err := Parse(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := obs.ContextWithTrace(context.Background(), obs.NewTrace("delta-1"))
+	res, err := ex.ExecStmtContext(ctx, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := ex.Journal.Get("delta-1")
+	if rec == nil {
+		t.Fatal("no journal record")
+	}
+	if rec.Cache != "delta" {
+		t.Errorf("journal cache outcome = %q, want delta", rec.Cache)
+	}
+
+	// Bit-identical rows to a cold executor over the same data.
+	cold := NewExecutor(db)
+	cold.Cache = nil
+	want, err := cold.Exec(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(want.Rows) {
+		t.Fatalf("delta rows = %d, cold rows = %d", len(res.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if res.Rows[i][j].AsString() != want.Rows[i][j].AsString() {
+				t.Fatalf("row %d col %d: delta %q != cold %q", i, j,
+					res.Rows[i][j].AsString(), want.Rows[i][j].AsString())
+			}
+		}
+	}
+}

@@ -185,9 +185,10 @@ func queryOutcome(root *plan.Node, st *obs.MineStats, ops []plan.OpStat, res *mi
 
 // cacheOutcome derives how the statement's hold table was served from
 // the per-statement cache counters: "cold" (a build ran — also the
-// cache-disabled path), "dedup" (waited on a concurrent identical
-// build), "rethreshold" or "hit". Statements without a hold operator
-// (the traditional task) report "".
+// cache-disabled path), "delta" (a stale entry was refreshed by delta
+// maintenance instead of a rebuild), "dedup" (waited on a concurrent
+// identical build), "rethreshold" or "hit". Statements without a hold
+// operator (the traditional task) report "".
 func cacheOutcome(st *obs.MineStats, root *plan.Node) string {
 	hasHold := false
 	for _, n := range plan.Chain(root) {
@@ -199,6 +200,8 @@ func cacheOutcome(st *obs.MineStats, root *plan.Node) string {
 		return ""
 	}
 	switch c := st.Counters; {
+	case c[obs.MetricCacheDeltas] > 0:
+		return "delta"
 	case c[obs.MetricCacheMisses] > 0:
 		return "cold"
 	case c[obs.MetricCacheDedups] > 0:

@@ -249,7 +249,8 @@ func (e *Executor) buildPlan(tbl *tdb.TxTable, stmt *MineStmt, cfg core.Config) 
 }
 
 // holdNode builds the hold-acquisition operator: a cache probe decides
-// whether the plan reads "cached-hold" (hit or rethreshold) or
+// whether the plan reads "cached-hold" (hit, rethreshold, or delta —
+// a stale entry refreshed by recounting only its dirty granules) or
 // "build-hold" (cold build — also the nil-cache path), and the Run
 // closure goes through HoldCache.GetContext either way, so the
 // annotation is advisory while the execution is always coherent with
