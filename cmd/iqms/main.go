@@ -8,6 +8,7 @@
 //	iqms -db ./data          # open or create a database directory
 //	iqms -db ./data -f run.sql  # execute a script, then exit
 //	iqms -db ./data -metrics :6060  # serve /metrics, /debug/vars, /debug/pprof
+//	iqms -db ./data -wal -fsync always  # WAL-backed storage engine: crash-safe writes
 //
 // Inside the REPL:
 //
@@ -45,6 +46,7 @@ func main() {
 	mf.RegisterMining(flag.CommandLine)
 	mf.RegisterTimeout(flag.CommandLine)
 	mf.RegisterCache(flag.CommandLine)
+	mf.RegisterDurability(flag.CommandLine)
 	flag.Parse()
 
 	backend, err := mf.Backend()
@@ -55,13 +57,22 @@ func main() {
 
 	var db *tdb.DB
 	if *dbDir != "" {
-		db, err = tdb.Open(*dbDir)
+		db, err = mf.OpenDB(*dbDir, obs.Default)
 	} else {
-		db = tdb.NewMemDB()
+		if mf.WAL {
+			err = fmt.Errorf("-wal needs a database directory (-db)")
+		} else {
+			db = tdb.NewMemDB()
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iqms:", err)
 		os.Exit(1)
+	}
+	if db.Durable() {
+		rec := db.Recovery()
+		fmt.Fprintf(os.Stderr, "iqms: durable open (fsync %s): replayed %d wal records (%d tx, %d skipped, %d torn bytes) in %s\n",
+			db.FsyncPolicy(), rec.Records, rec.AppendedTx, rec.SkippedTx, rec.TornBytes, rec.Wall.Round(time.Millisecond))
 	}
 	session := tml.NewSession(db)
 	session.TML.Backend = backend
@@ -89,6 +100,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "iqms:", err)
 			os.Exit(1)
 		}
+		closeDB(db)
 		return
 	}
 	fmt.Println("IQMS — integrated query and mining system. \\help for help, \\quit to exit.")
@@ -96,6 +108,20 @@ func main() {
 	if err := run(session, db, os.Stdin, os.Stdout, os.Stderr, true, execOpts{timeout: mf.Timeout, intr: intr}); err != nil {
 		fmt.Fprintln(os.Stderr, "iqms:", err)
 		os.Exit(1)
+	}
+	closeDB(db)
+}
+
+// closeDB checkpoints and closes a durable database on the way out, so
+// a clean exit restarts from segment files instead of WAL replay. A
+// failed checkpoint is not fatal: the WAL already holds every acked
+// append, so the next open replays it.
+func closeDB(db *tdb.DB) {
+	if !db.Durable() {
+		return
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "iqms: close:", err)
 	}
 }
 
@@ -288,6 +314,18 @@ func metaCommand(cmd string, session *tml.Session, db *tdb.DB, w io.Writer, stat
 		}
 		fmt.Fprintln(w, "database saved")
 		return false, nil
+	case "\\flush":
+		st, err := db.Checkpoint()
+		if err != nil {
+			return false, err
+		}
+		if db.Durable() {
+			fmt.Fprintf(w, "checkpointed %d tables (%d segments written, %d unchanged), wal truncated %d bytes in %s\n",
+				st.Tables, st.SegmentsWritten, st.SegmentsSkipped, st.WALTruncated, st.Wall.Round(time.Millisecond))
+		} else {
+			fmt.Fprintln(w, "database saved")
+		}
+		return false, nil
 	case "\\import":
 		if len(fields) != 3 {
 			return false, fmt.Errorf("usage: \\import <table> <file.csv>")
@@ -311,8 +349,9 @@ TML:  MINE RULES FROM t [DURING '<pattern>'] THRESHOLD SUPPORT s CONFIDENCE c [F
       EXPLAIN MINE ...;
 Patterns: month in (jun..aug) | weekday in (sat,sun) | every 7 offset 2 |
           between 1998-01-01 and 1998-06-30 | and/or/not combinations
-Meta: \tables  \save  \cache  \trace  \import <table> <file.csv>  \export <table> <file.csv>  \help  \quit
+Meta: \tables  \save  \flush  \cache  \trace  \import <table> <file.csv>  \export <table> <file.csv>  \help  \quit
       \trace shows the span tree of the last statement (operators, hold-table build, counting passes).
+      \flush checkpoints a durable (-wal) database and truncates its log; elsewhere it saves like \save.
 CSV:  transaction tables use "timestamp,item1;item2"; relational tables a header row.
 `)
 		return false, nil

@@ -30,8 +30,8 @@ import (
 	"time"
 
 	"github.com/tarm-project/tarm/internal/clihelp"
+	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/server"
-	"github.com/tarm-project/tarm/internal/tdb"
 )
 
 func main() {
@@ -53,6 +53,7 @@ func run() error {
 	mf.RegisterTimeout(fs)
 	mf.RegisterCache(fs)
 	mf.RegisterJournal(fs)
+	mf.RegisterDurability(fs)
 	flag.Parse()
 
 	if *dbDir == "" {
@@ -69,9 +70,17 @@ func run() error {
 	if sink != nil {
 		defer sink.Close()
 	}
-	db, err := tdb.Open(*dbDir)
+	// One registry for server and storage engine, so wal_*/checkpoint_*
+	// metrics land next to the request metrics on /metrics.
+	reg := obs.NewRegistry()
+	db, err := mf.OpenDB(*dbDir, reg)
 	if err != nil {
 		return err
+	}
+	if db.Durable() {
+		rec := db.Recovery()
+		fmt.Fprintf(os.Stderr, "tarmd: durable open (fsync %s): replayed %d wal records (%d tx, %d skipped, %d torn bytes) in %s\n",
+			db.FsyncPolicy(), rec.Records, rec.AppendedTx, rec.SkippedTx, rec.TornBytes, rec.Wall.Round(time.Millisecond))
 	}
 
 	cfg := server.Config{
@@ -83,6 +92,7 @@ func run() error {
 		CacheBytes:  mf.CacheBytes(),
 		JournalSize: mf.JournalSize,
 		SlowQuery:   mf.SlowQuery,
+		Registry:    reg,
 	}
 	if sink != nil {
 		cfg.JournalSink = sink
@@ -115,6 +125,19 @@ func run() error {
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	// The drain stopped admission and the pool is empty: checkpoint so
+	// appends acknowledged this run restart from segments, not replay.
+	// (Durable databases truncate the WAL here; a plain -db directory
+	// gets a whole-file Flush, closing the old exit-discards-appends
+	// hole either way.)
+	if err := db.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	if !db.Durable() {
+		if err := db.Flush(); err != nil {
+			return fmt.Errorf("flush: %w", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "tarmd: drained, bye")
 	return nil

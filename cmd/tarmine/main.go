@@ -26,7 +26,6 @@ import (
 	"github.com/tarm-project/tarm/internal/clihelp"
 	"github.com/tarm-project/tarm/internal/minisql"
 	"github.com/tarm-project/tarm/internal/obs"
-	"github.com/tarm-project/tarm/internal/tdb"
 	"github.com/tarm-project/tarm/internal/tml"
 )
 
@@ -41,6 +40,7 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "render the statement's span tree to stderr after the run")
 	mf.RegisterMining(flag.CommandLine)
 	mf.RegisterTimeout(flag.CommandLine)
+	mf.RegisterDurability(flag.CommandLine)
 	flag.Parse()
 
 	backend, err := mf.Backend()
@@ -87,7 +87,7 @@ func main() {
 			trace = obs.NewTrace("")
 			ctx = obs.ContextWithTrace(ctx, trace)
 		}
-		if err := execStatement(ctx, *dbDir, *stmt, backend, mf.Workers, out, obs.Multi(tracers...)); err != nil {
+		if err := execStatement(ctx, &mf, *dbDir, *stmt, backend, out, obs.Multi(tracers...)); err != nil {
 			fmt.Fprintln(os.Stderr, "tarmine:", err)
 			os.Exit(1)
 		}
@@ -106,23 +106,31 @@ func main() {
 	}
 }
 
-// execStatement opens the database and runs one TML or SQL statement
-// under ctx, feeding any mining telemetry to tracer. A mining
-// statement cancelled by -timeout returns context.DeadlineExceeded.
-func execStatement(ctx context.Context, dbDir, stmt string, backend apriori.Backend, workers int, w io.Writer, tracer obs.Tracer) error {
-	db, err := tdb.Open(dbDir)
+// execStatement opens the database (durably under -wal) and runs one
+// TML or SQL statement under ctx, feeding any mining telemetry to
+// tracer. A mining statement cancelled by -timeout returns
+// context.DeadlineExceeded. A durable database is checkpointed and
+// closed before returning, so a batch INSERT restarts from segments.
+func execStatement(ctx context.Context, mf *clihelp.MiningFlags, dbDir, stmt string, backend apriori.Backend, w io.Writer, tracer obs.Tracer) error {
+	db, err := mf.OpenDB(dbDir, obs.Default)
 	if err != nil {
 		return err
 	}
 	session := tml.NewSession(db)
 	session.TML.Backend = backend
-	session.TML.Workers = workers
+	session.TML.Workers = mf.Workers
 	session.TML.Tracer = tracer
 	res, err := session.ExecContext(ctx, stmt)
 	if err != nil {
+		if db.Durable() {
+			db.Kill() // keep the WAL: nothing acked is lost
+		}
 		return err
 	}
 	minisql.Format(w, res)
+	if db.Durable() {
+		return db.Close()
+	}
 	return nil
 }
 

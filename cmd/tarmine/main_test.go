@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/tarm-project/tarm/internal/apriori"
+	"github.com/tarm-project/tarm/internal/clihelp"
 	"github.com/tarm-project/tarm/internal/itemset"
 	"github.com/tarm-project/tarm/internal/obs"
 	"github.com/tarm-project/tarm/internal/tdb"
@@ -43,7 +44,7 @@ func fixtureDir(t *testing.T) string {
 func TestExecStatement(t *testing.T) {
 	dir := fixtureDir(t)
 	var out strings.Builder
-	if err := execStatement(context.Background(), dir, `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`, apriori.BackendBitmap, 2, &out, nil); err != nil {
+	if err := execStatement(context.Background(), &clihelp.MiningFlags{Workers: 2}, dir, `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`, apriori.BackendBitmap, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "{bread}") {
@@ -51,14 +52,14 @@ func TestExecStatement(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := execStatement(context.Background(), dir, `SELECT COUNT(*) AS n FROM baskets`, apriori.BackendAuto, 0, &out, nil); err != nil {
+	if err := execStatement(context.Background(), &clihelp.MiningFlags{}, dir, `SELECT COUNT(*) AS n FROM baskets`, apriori.BackendAuto, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "168") { // 14 days × 6 tx × 2 items
 		t.Errorf("SQL output: %q", out.String())
 	}
 
-	if err := execStatement(context.Background(), dir, `MINE garbage`, apriori.BackendAuto, 0, &out, nil); err == nil {
+	if err := execStatement(context.Background(), &clihelp.MiningFlags{}, dir, `MINE garbage`, apriori.BackendAuto, &out, nil); err == nil {
 		t.Error("bad statement accepted")
 	}
 }
@@ -72,7 +73,7 @@ func TestStatsDump(t *testing.T) {
 	var progress, out strings.Builder
 	tracer := obs.Multi(collect, obs.NewProgressTracer(&progress))
 	stmt := `MINE RULES FROM baskets THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`
-	if err := execStatement(context.Background(), dir, stmt, apriori.BackendBitmap, 1, &out, tracer); err != nil {
+	if err := execStatement(context.Background(), &clihelp.MiningFlags{Workers: 1}, dir, stmt, apriori.BackendBitmap, &out, tracer); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "stats.json")
@@ -109,5 +110,23 @@ func TestStatsDump(t *testing.T) {
 func TestRunExperimentsUnknown(t *testing.T) {
 	if err := runExperiments("nope", ""); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestExecStatementDurable drives -wal end to end: a legacy directory
+// is migrated on open, the statement runs, and the close checkpoints —
+// after which the directory only opens durably.
+func TestExecStatementDurable(t *testing.T) {
+	dir := fixtureDir(t)
+	mf := &clihelp.MiningFlags{WAL: true, FsyncName: "always"}
+	var out strings.Builder
+	if err := execStatement(context.Background(), mf, dir, `SELECT COUNT(*) AS n FROM baskets`, apriori.BackendAuto, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "168") {
+		t.Errorf("durable output: %q", out.String())
+	}
+	if _, err := tdb.Open(dir); err == nil {
+		t.Error("plain Open accepted a WAL-backed directory")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/core"
 	"github.com/tarm-project/tarm/internal/obs"
+	"github.com/tarm-project/tarm/internal/tdb"
 )
 
 // Flag usage strings, shared verbatim by every binary that registers
@@ -30,6 +31,10 @@ const (
 	journalUsage    = "query-journal ring size in statements (0 = default 128, -1 = disable)"
 	slowQueryUsage  = "log a structured warning for statements slower than this, e.g. 2s (0 = off)"
 	journalLogUsage = "append every completed statement as a JSON line to this file"
+	walUsage        = "open the database with the WAL-backed storage engine (crash-safe appends)"
+	fsyncUsage      = "WAL fsync policy: always (group commit per ack), interval or off"
+	fsyncIntUsage   = "background fsync cadence under -fsync interval, e.g. 50ms"
+	checkpointUsage = "checkpoint cadence, e.g. 5m (0 = only on flush/exit); implies bounded recovery time"
 )
 
 // MiningFlags is the cross-binary flag bundle. Zero value + Register*
@@ -49,6 +54,14 @@ type MiningFlags struct {
 	SlowQuery time.Duration
 	// JournalLog is the -journal-log value (JSONL sink path).
 	JournalLog string
+	// WAL is the -wal value: open the database durably.
+	WAL bool
+	// FsyncName is the raw -fsync value; resolve with Durability().
+	FsyncName string
+	// FsyncInterval is the -fsync-interval value.
+	FsyncInterval time.Duration
+	// CheckpointInterval is the -checkpoint-interval value.
+	CheckpointInterval time.Duration
 }
 
 // RegisterMining adds -backend and -workers, the knobs of the counting
@@ -75,6 +88,51 @@ func (f *MiningFlags) RegisterJournal(fs *flag.FlagSet) {
 	fs.IntVar(&f.JournalSize, "journal", 0, journalUsage)
 	fs.DurationVar(&f.SlowQuery, "slow-query", 0, slowQueryUsage)
 	fs.StringVar(&f.JournalLog, "journal-log", "", journalLogUsage)
+}
+
+// RegisterDurability adds -wal, -fsync, -fsync-interval and
+// -checkpoint-interval, the storage-engine knobs of every binary that
+// opens a database directory.
+func (f *MiningFlags) RegisterDurability(fs *flag.FlagSet) {
+	fs.BoolVar(&f.WAL, "wal", false, walUsage)
+	fs.StringVar(&f.FsyncName, "fsync", "always", fsyncUsage)
+	fs.DurationVar(&f.FsyncInterval, "fsync-interval", 0, fsyncIntUsage)
+	fs.DurationVar(&f.CheckpointInterval, "checkpoint-interval", 0, checkpointUsage)
+}
+
+// Durability resolves the -fsync/-fsync-interval/-checkpoint-interval
+// flags into the tdb config, with the same error text in every binary.
+// reg may be nil (no metrics).
+func (f *MiningFlags) Durability(reg *obs.Registry) (tdb.Durability, error) {
+	pol, err := tdb.ParseFsyncPolicy(f.FsyncName)
+	if err != nil {
+		return tdb.Durability{}, fmt.Errorf("-fsync: %w", err)
+	}
+	if f.FsyncInterval < 0 {
+		return tdb.Durability{}, fmt.Errorf("-fsync-interval must be >= 0 (got %v)", f.FsyncInterval)
+	}
+	if f.CheckpointInterval < 0 {
+		return tdb.Durability{}, fmt.Errorf("-checkpoint-interval must be >= 0 (got %v)", f.CheckpointInterval)
+	}
+	return tdb.Durability{
+		Fsync:              pol,
+		SyncInterval:       f.FsyncInterval,
+		CheckpointInterval: f.CheckpointInterval,
+		Registry:           reg,
+	}, nil
+}
+
+// OpenDB opens dir under the engine the flags select: OpenDurable with
+// -wal (metrics on reg when non-nil), the plain loader otherwise.
+func (f *MiningFlags) OpenDB(dir string, reg *obs.Registry) (*tdb.DB, error) {
+	if !f.WAL {
+		return tdb.Open(dir)
+	}
+	cfg, err := f.Durability(reg)
+	if err != nil {
+		return nil, err
+	}
+	return tdb.OpenDurable(dir, cfg)
 }
 
 // JournalSink opens the -journal-log sink for appending, or returns

@@ -9,6 +9,7 @@ import (
 
 	"github.com/tarm-project/tarm/internal/apriori"
 	"github.com/tarm-project/tarm/internal/core"
+	"github.com/tarm-project/tarm/internal/tdb"
 )
 
 // newFlagSet builds a fresh FlagSet the way each binary does, so the
@@ -19,6 +20,7 @@ func newFlagSet(name string, mf *MiningFlags) *flag.FlagSet {
 	mf.RegisterMining(fs)
 	mf.RegisterTimeout(fs)
 	mf.RegisterCache(fs)
+	mf.RegisterDurability(fs)
 	return fs
 }
 
@@ -34,6 +36,7 @@ func TestFlagsIdenticalAcrossBinaries(t *testing.T) {
 		{"-backend", "hashtree", "-timeout", "30s"},
 		{"-backend", "naive", "-workers", "2", "-timeout", "1500ms", "-cache", "64"},
 		{"-cache", "0"},
+		{"-wal", "-fsync", "interval", "-fsync-interval", "25ms", "-checkpoint-interval", "5m"},
 	}
 	for _, args := range cases {
 		var got []MiningFlags
@@ -120,5 +123,81 @@ func TestCacheBytes(t *testing.T) {
 	}
 	if got := (&MiningFlags{CacheMB: 0}).CacheBytes(); got != 0 {
 		t.Errorf("CacheBytes(0) = %d", got)
+	}
+}
+
+// TestDurabilityFlags covers the -wal/-fsync flag family: defaults,
+// parsing, resolution into a tdb.Durability and the validation errors
+// every binary must report identically.
+func TestDurabilityFlags(t *testing.T) {
+	var mf MiningFlags
+	if err := newFlagSet("x", &mf).Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if mf.WAL || mf.FsyncName != "always" || mf.FsyncInterval != 0 || mf.CheckpointInterval != 0 {
+		t.Errorf("durability defaults: %+v", mf)
+	}
+	cfg, err := mf.Durability(nil)
+	if err != nil || cfg.Fsync != tdb.FsyncAlways {
+		t.Errorf("Durability() = %+v, %v; want FsyncAlways", cfg, err)
+	}
+
+	mf = MiningFlags{}
+	if err := newFlagSet("x", &mf).Parse([]string{
+		"-wal", "-fsync", "interval", "-fsync-interval", "25ms", "-checkpoint-interval", "5m"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = mf.Durability(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mf.WAL || cfg.Fsync != tdb.FsyncInterval || cfg.SyncInterval != 25*time.Millisecond || cfg.CheckpointInterval != 5*time.Minute {
+		t.Errorf("resolved %+v from %+v", cfg, mf)
+	}
+
+	for _, bad := range []MiningFlags{
+		{FsyncName: "sometimes"},
+		{FsyncName: "always", FsyncInterval: -time.Second},
+		{FsyncName: "always", CheckpointInterval: -time.Minute},
+	} {
+		if _, err := bad.Durability(nil); err == nil {
+			t.Errorf("Durability(%+v) accepted", bad)
+		}
+	}
+}
+
+// TestOpenDB checks the flag→engine dispatch: without -wal a plain
+// directory database, with it a durable one whose directory then
+// refuses the plain loader.
+func TestOpenDB(t *testing.T) {
+	dir := t.TempDir() + "/plain"
+	mf := MiningFlags{FsyncName: "always"}
+	db, err := mf.OpenDB(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Durable() {
+		t.Error("plain OpenDB returned a durable database")
+	}
+
+	dir = t.TempDir() + "/wal"
+	mf.WAL = true
+	db, err = mf.OpenDB(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Durable() {
+		t.Fatal("OpenDB with WAL set returned a non-durable database")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tdb.Open(dir); err == nil {
+		t.Error("plain Open accepted the WAL-backed directory")
+	}
+
+	mf.FsyncName = "sometimes"
+	if _, err := mf.OpenDB(t.TempDir(), nil); err == nil {
+		t.Error("OpenDB accepted an invalid fsync policy")
 	}
 }

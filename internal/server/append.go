@@ -51,6 +51,7 @@ type appendResponse struct {
 	RequestID string  `json:"request_id,omitempty"`
 	Appended  int     `json:"appended"`
 	Epoch     int64   `json:"epoch"`
+	Durable   bool    `json:"durable"` // acked after WAL commit
 	WallMS    float64 `json:"wall_ms"`
 }
 
@@ -71,57 +72,34 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 
 	// Admission control, identical to statements: drain refuses, the
 	// pool bounds concurrency, the queue bounds waiting.
-	if s.draining.Load() {
-		s.reg.Counter(MetricDraining).Add(1)
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-		s.reject(w, http.StatusServiceUnavailable, "server is draining")
+	release, ok := s.admitOp(w, r, MetricAppendErrors)
+	if !ok {
 		return
 	}
-	if n := s.admitted.Add(1); n > int64(s.cfg.Pool+s.cfg.Queue) {
-		s.admitted.Add(-1)
-		s.reg.Counter(MetricQueueFull).Add(1)
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-		s.reject(w, http.StatusTooManyRequests,
-			fmt.Sprintf("statement queue full (%d executing + %d waiting)", s.cfg.Pool, s.cfg.Queue))
-		return
-	}
-	s.wg.Add(1)
-	defer s.wg.Done()
-	defer func() {
-		s.admitted.Add(-1)
-		s.gauges()
-	}()
+	defer release()
 	s.reg.Counter(MetricAppends).Add(1)
-	s.gauges()
-
-	ctx := r.Context()
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		s.reg.Counter(MetricAppendErrors).Add(1)
-		s.reject(w, http.StatusBadRequest, ctx.Err().Error())
-		return
-	}
-	s.inflight.Add(1)
-	s.gauges()
-	defer func() {
-		<-s.sem
-		s.inflight.Add(-1)
-		s.gauges()
-	}()
 
 	// Journal the batch like a statement, under the request's trace ID,
 	// so the query history interleaves reads and writes.
 	stmtText := fmt.Sprintf("APPEND %d tx INTO %s", len(req.Transactions), req.Table)
-	inflight := s.journal.Begin(obs.TraceFromContext(ctx), stmtText, "append")
+	inflight := s.journal.Begin(obs.TraceFromContext(r.Context()), stmtText, "append")
 
 	start := time.Now()
 	batch := make([]tdb.Tx, len(req.Transactions))
 	for i, tx := range req.Transactions {
 		batch[i] = tdb.Tx{At: tx.At, Items: s.db.Dict().InternAll(tx.Items...)}
 	}
-	_, epoch := tbl.AppendBatch(batch)
+	// On a durable database the 200 is the durability contract: the
+	// batch's WAL record is committed under the configured fsync policy
+	// before this returns, and a commit failure is a 500, never an ack.
+	_, epoch, err := tbl.AppendBatchDurable(batch)
 	wall := time.Since(start)
+	if err != nil {
+		s.reg.Counter(MetricAppendErrors).Add(1)
+		inflight.End(obs.QueryOutcome{Err: err})
+		s.reject(w, http.StatusInternalServerError, fmt.Sprintf("tarmd: append not durable: %v", err))
+		return
+	}
 
 	s.reg.Histogram(MetricAppendLatency).Observe(wall.Seconds())
 	s.reg.Counter(MetricAppendTx).Add(int64(len(batch)))
@@ -132,6 +110,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		RequestID: w.Header().Get("X-Request-ID"),
 		Appended:  len(batch),
 		Epoch:     epoch,
+		Durable:   s.db.Durable(),
 		WallMS:    float64(wall) / float64(time.Millisecond),
 	})
 }

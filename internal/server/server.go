@@ -34,6 +34,9 @@
 //
 //	POST /v1/statements    execute one MINE or EXPLAIN MINE statement
 //	POST /v1/append        append a batch of transactions to a table
+//	POST /v1/flush         checkpoint the database (truncates the WAL)
+//	POST /v1/import        bulk-load basket CSV into a table
+//	GET  /v1/export        dump a table as basket CSV
 //	GET  /v1/tables        list tables (name, kind, rows)
 //	GET  /v1/queries       recent statements + statements in flight
 //	GET  /v1/queries/{id}  one statement (by request ID or seq) with
@@ -191,6 +194,9 @@ func New(db *tdb.DB, cfg Config) *Server {
 	s.mux = obs.DebugMux(s.reg)
 	s.mux.HandleFunc("POST /v1/statements", s.handleStatement)
 	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
+	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	s.mux.HandleFunc("POST /v1/import", s.handleImport)
+	s.mux.HandleFunc("GET /v1/export", s.handleExport)
 	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
 	s.mux.HandleFunc("GET /v1/queries", s.handleQueries)
 	s.mux.HandleFunc("GET /v1/queries/{id}", s.handleQueryByID)

@@ -25,6 +25,10 @@ const (
 type DB struct {
 	dir string
 
+	// dur is the WAL-backed storage engine (nil when the database was
+	// opened with Open or NewMemDB). See durable.go.
+	dur *durability
+
 	mu       sync.RWMutex
 	tables   map[string]*Table
 	txtables map[string]*TxTable
@@ -46,6 +50,14 @@ func NewMemDB() *DB {
 func Open(dir string) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tdb: open %s: %w", dir, err)
+	}
+	// A directory run under the WAL engine holds state (segment dirs,
+	// WAL tail) this loader would silently ignore — refuse rather than
+	// present a stale subset and let a later Flush clobber the rest.
+	for _, marker := range []string{checkpointFile, walFile} {
+		if _, err := os.Stat(filepath.Join(dir, marker)); err == nil {
+			return nil, fmt.Errorf("tdb: %s holds a WAL-backed database (found %s); open it durably (-wal)", dir, marker)
+		}
 	}
 	db := NewMemDB()
 	db.dir = dir
@@ -126,8 +138,29 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 	return t, nil
 }
 
-// CreateTxTable adds an empty transaction table.
+// CreateTxTable adds an empty transaction table. On a durable database
+// the creation is WAL-logged so it survives a crash before the next
+// checkpoint.
 func (db *DB) CreateTxTable(name string) (*TxTable, error) {
+	if d := db.dur; d != nil {
+		d.gate.RLock()
+		defer d.gate.RUnlock()
+	}
+	t, err := db.createTxTableNoLog(name)
+	if err != nil {
+		return nil, err
+	}
+	if db.dur != nil {
+		if err := db.dur.logTableOp(encodeCreateRecord(name)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// createTxTableNoLog is CreateTxTable minus gate and WAL record; WAL
+// replay uses it directly.
+func (db *DB) createTxTableNoLog(name string) (*TxTable, error) {
 	if err := validName(name); err != nil {
 		return nil, err
 	}
@@ -144,6 +177,7 @@ func (db *DB) CreateTxTable(name string) (*TxTable, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.dur = db.dur
 	db.txtables[key] = t
 	return t, nil
 }
@@ -178,11 +212,41 @@ func (db *DB) RegisterTable(t *Table) error {
 }
 
 // Drop removes a table of either kind; it reports whether anything was
-// removed. Persisted files are deleted as well.
+// removed. Persisted files are deleted as well, and on a durable
+// database a transaction-table drop is WAL-logged.
 func (db *DB) Drop(name string) (bool, error) {
+	if d := db.dur; d != nil {
+		d.gate.RLock()
+		defer d.gate.RUnlock()
+	}
 	key := strings.ToLower(name)
 	db.mu.Lock()
+	wasTx := false
+	if _, ok := db.txtables[key]; ok {
+		wasTx = true
+	}
+	dropped, err := db.dropLocked(key)
+	db.mu.Unlock()
+	if err != nil || !dropped {
+		return dropped, err
+	}
+	if db.dur != nil && wasTx {
+		if err := db.dur.logTableOp(encodeDropRecord(key)); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// dropNoLog is Drop minus gate and WAL record; WAL replay uses it
+// directly.
+func (db *DB) dropNoLog(name string) (bool, error) {
+	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.dropLocked(strings.ToLower(name))
+}
+
+func (db *DB) dropLocked(key string) (bool, error) {
 	if _, ok := db.tables[key]; ok {
 		delete(db.tables, key)
 		if db.dir != "" {
@@ -196,6 +260,9 @@ func (db *DB) Drop(name string) (bool, error) {
 		delete(db.txtables, key)
 		if db.dir != "" {
 			if err := removeIfExists(filepath.Join(db.dir, key+extTx)); err != nil {
+				return true, err
+			}
+			if err := os.RemoveAll(filepath.Join(db.dir, key+segDirSuffix)); err != nil {
 				return true, err
 			}
 		}
@@ -235,11 +302,16 @@ func (db *DB) IsTxTable(name string) bool {
 	return ok
 }
 
-// Flush persists every table and the dictionary. Memory-only databases
-// return an error.
+// Flush persists every table and the dictionary. On a durable database
+// it is a checkpoint (segment files + WAL truncation); memory-only
+// databases return an error.
 func (db *DB) Flush() error {
 	if db.dir == "" {
 		return fmt.Errorf("tdb: Flush on a memory-only database")
+	}
+	if db.dur != nil {
+		_, err := db.Checkpoint()
+		return err
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()

@@ -1,0 +1,67 @@
+package tdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+)
+
+// BenchmarkAppendBatchDurable measures the per-batch cost of the WAL
+// write path against the non-durable baseline: 100-transaction batches,
+// the E16 ingest shape.
+func BenchmarkAppendBatchDurable(b *testing.B) {
+	const txPer = 100
+	mkBatch := func() []Tx {
+		batch := make([]Tx, txPer)
+		at := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+		for i := range batch {
+			batch[i] = Tx{
+				At:    at.Add(time.Duration(i) * time.Minute),
+				Items: itemset.New(1, 2, itemset.Item(3+i%7), itemset.Item(100+i%11)),
+			}
+		}
+		return batch
+	}
+
+	b.Run("none", func(b *testing.B) {
+		tbl, err := NewTxTable("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := mkBatch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := tbl.AppendBatchDurable(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, cfg := range []Durability{
+		{Fsync: FsyncOff},
+		{Fsync: FsyncInterval, SyncInterval: 25 * time.Millisecond},
+		{Fsync: FsyncAlways},
+	} {
+		b.Run(fmt.Sprintf("fsync=%v", cfg.Fsync), func(b *testing.B) {
+			db, err := OpenDurable(b.TempDir(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Kill()
+			tbl, err := db.CreateTxTable("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := mkBatch()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tbl.AppendBatchDurable(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,236 @@
+package tdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/itemset"
+)
+
+// Crash recovery: decode the WAL's longest valid record prefix and
+// replay it over the loaded checkpoint. Decoding is forgiving — a torn
+// write, a truncated tail or a bit flip ends the prefix without error,
+// because that is exactly what a crash leaves behind — while replay is
+// strict: a record that decodes but contradicts the checkpoint (a
+// dictionary name mismatch, an append into a table that never existed)
+// aborts the open rather than silently rebuilding a different database.
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	typ   uint8
+	table string // append/create/drop
+
+	firstID int64 // append
+	txs     []Tx  // append (IDs filled from firstID)
+
+	dictStart int      // dict
+	names     []string // dict
+}
+
+// maxWALRecord bounds a single record's framed payload; larger lengths
+// are treated as corruption (a flipped bit in the length field must not
+// cause a gigabyte allocation).
+const maxWALRecord = 64 << 20
+
+// decodeWALPayload decodes one framed payload. It returns an error for
+// any malformed payload; the caller treats that as the end of the valid
+// prefix.
+func decodeWALPayload(p []byte) (walRecord, error) {
+	d := &decoder{b: p}
+	var rec walRecord
+	rec.typ = d.u8()
+	switch rec.typ {
+	case walRecAppend:
+		rec.table = d.str()
+		rec.firstID = d.i64()
+		n := int(d.u32())
+		if d.err != nil {
+			return rec, d.err
+		}
+		if n < 0 || n > len(p) {
+			return rec, fmt.Errorf("tdb: wal append record: implausible tx count %d", n)
+		}
+		rec.txs = make([]Tx, 0, n)
+		for i := 0; i < n; i++ {
+			at := d.i64()
+			ni := int(d.u32())
+			if d.err != nil {
+				return rec, d.err
+			}
+			if ni < 0 || d.off+4*ni > len(d.b) {
+				return rec, fmt.Errorf("tdb: wal append record: implausible item count %d", ni)
+			}
+			items := make([]itemset.Item, ni)
+			for j := range items {
+				items[j] = itemset.Item(d.u32())
+			}
+			set := itemset.Set(items)
+			if !set.Valid() {
+				return rec, fmt.Errorf("tdb: wal append record: non-canonical itemset")
+			}
+			rec.txs = append(rec.txs, Tx{
+				ID:    rec.firstID + int64(i),
+				At:    time.Unix(0, at).UTC(),
+				Items: set,
+			})
+		}
+	case walRecDict:
+		rec.dictStart = int(d.u32())
+		n := int(d.u32())
+		if d.err != nil {
+			return rec, d.err
+		}
+		if n < 0 || n > len(p) {
+			return rec, fmt.Errorf("tdb: wal dict record: implausible name count %d", n)
+		}
+		rec.names = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			rec.names = append(rec.names, d.str())
+		}
+	case walRecCreate, walRecDrop:
+		rec.table = d.str()
+	default:
+		return rec, fmt.Errorf("tdb: unknown wal record type %d", rec.typ)
+	}
+	if d.err != nil {
+		return rec, d.err
+	}
+	if d.off != len(d.b) {
+		return rec, fmt.Errorf("tdb: wal record: %d trailing bytes", len(d.b)-d.off)
+	}
+	return rec, nil
+}
+
+// decodeWALRecords scans the record region (everything after the
+// header) and returns the records of the longest valid prefix plus the
+// byte offset, relative to data, at which that prefix ends. Anything
+// beyond — a torn frame, a CRC mismatch, a payload that does not decode
+// — is a crash artifact, not an error.
+func decodeWALRecords(data []byte) (recs []walRecord, valid int) {
+	off := 0
+	for {
+		if off+8 > len(data) {
+			return recs, off
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if n < 0 || n > maxWALRecord || off+8+n > len(data) {
+			return recs, off
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+4:off+8]) {
+			return recs, off
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+}
+
+// readWALFile reads path and returns the header epoch, the valid-prefix
+// records, the file size of that valid prefix and how many tail bytes
+// were discarded. A file too short to hold a header recovers as empty
+// at epoch 0 with everything counted as torn.
+func readWALFile(path string) (epoch uint64, recs []walRecord, validSize int64, torn int, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, 0, 0, fmt.Errorf("tdb: read wal %s: %w", path, err)
+	}
+	if len(raw) < walHdrSize || string(raw[:4]) != magicWAL ||
+		binary.LittleEndian.Uint32(raw[4:8]) != fmtVersion {
+		// A torn header: nothing recoverable, treat as an empty log.
+		return 0, nil, 0, len(raw), nil
+	}
+	epoch = binary.LittleEndian.Uint64(raw[8:16])
+	recs, valid := decodeWALRecords(raw[walHdrSize:])
+	validSize = int64(walHdrSize + valid)
+	return epoch, recs, validSize, len(raw) - int(validSize), nil
+}
+
+// RecoveryStats reports what opening a durable database replayed.
+type RecoveryStats struct {
+	// Records is the number of valid WAL records replayed.
+	Records int
+	// AppendedTx is the number of transactions the replay added on top
+	// of the checkpoint.
+	AppendedTx int
+	// SkippedTx is the number of logged transactions the checkpoint
+	// already contained (idempotent replay).
+	SkippedTx int
+	// TornBytes is the size of the discarded invalid WAL tail.
+	TornBytes int
+	// Wall is the end-to-end recovery time (checkpoint load excluded).
+	Wall time.Duration
+}
+
+// replayWAL applies the decoded records to the freshly loaded
+// checkpoint state. Tables are resolved lazily so create records are
+// honoured in order; appends restore the IDs the transactions carried
+// when first acknowledged, skipping IDs the checkpoint already holds.
+func (db *DB) replayWAL(recs []walRecord) (stats RecoveryStats, err error) {
+	for _, rec := range recs {
+		switch rec.typ {
+		case walRecDict:
+			for i, name := range rec.names {
+				want := itemset.Item(rec.dictStart + i)
+				if int(want) < db.dict.Len() {
+					// The checkpoint already interned this id; the names
+					// must agree or the log belongs to another database.
+					got, nameErr := db.dict.Name(want)
+					if nameErr != nil || got != name {
+						return stats, fmt.Errorf("tdb: wal replay: dictionary id %d is %q in checkpoint, %q in log", want, got, name)
+					}
+					continue
+				}
+				if got := db.dict.Intern(name); got != want {
+					return stats, fmt.Errorf("tdb: wal replay: dictionary gap: %q interned as %d, log says %d", name, got, want)
+				}
+			}
+		case walRecCreate:
+			if _, ok := db.TxTable(rec.table); !ok {
+				if _, err := db.createTxTableNoLog(rec.table); err != nil {
+					return stats, fmt.Errorf("tdb: wal replay: %w", err)
+				}
+			}
+		case walRecDrop:
+			if _, err := db.dropNoLog(rec.table); err != nil {
+				return stats, fmt.Errorf("tdb: wal replay: %w", err)
+			}
+		case walRecAppend:
+			t, ok := db.TxTable(rec.table)
+			if !ok {
+				return stats, fmt.Errorf("tdb: wal replay: append into unknown table %q", rec.table)
+			}
+			added, skipped := t.restoreBatch(rec.txs)
+			stats.AppendedTx += added
+			stats.SkippedTx += skipped
+		}
+		stats.Records++
+	}
+	return stats, nil
+}
+
+// restoreBatch re-applies logged transactions, preserving their
+// original IDs. Transactions whose ID precedes the table's next-ID
+// watermark are already present (checkpointed, or an earlier copy of a
+// duplicated record) and are skipped, which is what makes replay
+// idempotent.
+func (t *TxTable) restoreBatch(txs []Tx) (added, skipped int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tx := range txs {
+		if tx.ID < t.nextID {
+			skipped++
+			continue
+		}
+		t.nextID = tx.ID
+		t.appendLocked(tx.At, tx.Items)
+		added++
+	}
+	return added, skipped
+}

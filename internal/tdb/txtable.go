@@ -26,6 +26,12 @@ type Tx struct {
 type TxTable struct {
 	name string
 
+	// dur is the owning database's storage engine; nil for tables
+	// outside a durable database. Appenders take dur.gate.RLock before
+	// mu (lock order, see durable.go) and log a WAL record inside the
+	// critical section so per-table log order matches ID order.
+	dur *durability
+
 	mu     sync.RWMutex
 	txs    []Tx
 	sorted bool
@@ -104,9 +110,24 @@ func (t *TxTable) Append(at time.Time, items itemset.Set) int64 {
 	if !items.Valid() {
 		items = itemset.New(items...)
 	}
+	d := t.dur
+	if d != nil {
+		d.gate.RLock()
+		defer d.gate.RUnlock()
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.appendLocked(at, items)
+	id := t.appendLocked(at, items)
+	var lsn int64
+	if d != nil {
+		lsn = d.logAppend(t.name, id, []Tx{{ID: id, At: at.UTC(), Items: items}})
+	}
+	t.mu.Unlock()
+	if d != nil {
+		// Commit errors are sticky on the WAL; callers needing a per-
+		// call verdict use AppendBatchDurable or DB.DurabilityErr.
+		d.wal.commit(lsn)
+	}
+	return id
 }
 
 // AppendBatch appends a batch of transactions under a single lock
@@ -115,9 +136,29 @@ func (t *TxTable) Append(at time.Time, items itemset.Set) int64 {
 // the batch; with the write lock held throughout, the batch is atomic
 // with respect to concurrent scans and epoch reads.
 func (t *TxTable) AppendBatch(txs []Tx) (firstID, epoch int64) {
+	firstID, epoch, _ = t.appendBatch(txs)
+	return firstID, epoch
+}
+
+// AppendBatchDurable is AppendBatch with the durability verdict: on a
+// durable table it returns only after the batch's WAL record is
+// committed under the configured fsync policy, and the error reflects
+// any WAL write/sync failure — callers acknowledging writes (tarmd)
+// must not ack when it is non-nil. On a non-durable table the error is
+// always nil.
+func (t *TxTable) AppendBatchDurable(txs []Tx) (firstID, epoch int64, err error) {
+	return t.appendBatch(txs)
+}
+
+func (t *TxTable) appendBatch(txs []Tx) (firstID, epoch int64, err error) {
+	d := t.dur
+	if d != nil {
+		d.gate.RLock()
+		defer d.gate.RUnlock()
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	firstID = t.nextID
+	start := len(t.txs)
 	for _, tx := range txs {
 		items := tx.Items
 		if !items.Valid() {
@@ -125,7 +166,19 @@ func (t *TxTable) AppendBatch(txs []Tx) (firstID, epoch int64) {
 		}
 		t.appendLocked(tx.At, items)
 	}
-	return firstID, t.epoch
+	epoch = t.epoch
+	var lsn int64
+	if d != nil && len(t.txs) > start {
+		// Log straight from the table's own entries (stable under t.mu,
+		// and exactly the {ID, UTC time, canonical items} replay needs)
+		// rather than building a parallel batch copy.
+		lsn = d.logAppend(t.name, firstID, t.txs[start:])
+	}
+	t.mu.Unlock()
+	if d != nil {
+		err = d.wal.commit(lsn)
+	}
+	return firstID, epoch, err
 }
 
 // appendLocked does the actual insert; callers hold the write lock and
