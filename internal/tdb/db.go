@@ -116,6 +116,24 @@ func validName(name string) error {
 	return nil
 }
 
+// tableFreeLocked reports an error if key names an existing table of
+// either kind, phrased for the kind being created. Caller holds db.mu.
+func (db *DB) tableFreeLocked(name, key string, forTx bool) error {
+	if _, ok := db.txtables[key]; ok {
+		if forTx {
+			return fmt.Errorf("tdb: transaction table %q already exists", name)
+		}
+		return fmt.Errorf("tdb: a transaction table named %q already exists", name)
+	}
+	if _, ok := db.tables[key]; ok {
+		if forTx {
+			return fmt.Errorf("tdb: a relational table named %q already exists", name)
+		}
+		return fmt.Errorf("tdb: table %q already exists", name)
+	}
+	return nil
+}
+
 // CreateTable adds an empty relational table.
 func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 	if err := validName(name); err != nil {
@@ -124,11 +142,8 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 	key := strings.ToLower(name)
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.tables[key]; ok {
-		return nil, fmt.Errorf("tdb: table %q already exists", name)
-	}
-	if _, ok := db.txtables[key]; ok {
-		return nil, fmt.Errorf("tdb: a transaction table named %q already exists", name)
+	if err := db.tableFreeLocked(name, key, false); err != nil {
+		return nil, err
 	}
 	t, err := NewTable(name, schema)
 	if err != nil {
@@ -139,22 +154,37 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 }
 
 // CreateTxTable adds an empty transaction table. On a durable database
-// the creation is WAL-logged so it survives a crash before the next
-// checkpoint.
+// the create record is committed to the WAL before the table becomes
+// visible: publishing first would let a concurrent goroutine find the
+// table and win the log with an append record that precedes its create,
+// a WAL replay refuses to apply. db.mu is held across the log write, so
+// the visibility flip and the record are one atomic step.
 func (db *DB) CreateTxTable(name string) (*TxTable, error) {
-	if d := db.dur; d != nil {
+	d := db.dur
+	if d != nil {
 		d.gate.RLock()
 		defer d.gate.RUnlock()
 	}
-	t, err := db.createTxTableNoLog(name)
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	key := strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.tableFreeLocked(name, key, true); err != nil {
+		return nil, err
+	}
+	t, err := NewTxTable(name)
 	if err != nil {
 		return nil, err
 	}
-	if db.dur != nil {
-		if err := db.dur.logTableOp(encodeCreateRecord(name)); err != nil {
+	if d != nil {
+		if err := d.logTableOp(encodeCreateRecord(name)); err != nil {
 			return nil, err
 		}
 	}
+	t.dur = d
+	db.txtables[key] = t
 	return t, nil
 }
 
@@ -167,11 +197,8 @@ func (db *DB) createTxTableNoLog(name string) (*TxTable, error) {
 	key := strings.ToLower(name)
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.txtables[key]; ok {
-		return nil, fmt.Errorf("tdb: transaction table %q already exists", name)
-	}
-	if _, ok := db.tables[key]; ok {
-		return nil, fmt.Errorf("tdb: a relational table named %q already exists", name)
+	if err := db.tableFreeLocked(name, key, true); err != nil {
+		return nil, err
 	}
 	t, err := NewTxTable(name)
 	if err != nil {
@@ -212,30 +239,28 @@ func (db *DB) RegisterTable(t *Table) error {
 }
 
 // Drop removes a table of either kind; it reports whether anything was
-// removed. Persisted files are deleted as well, and on a durable
-// database a transaction-table drop is WAL-logged.
+// removed. Persisted files are deleted as well. On a durable database a
+// transaction-table drop is WAL-first: the drop record reaches the
+// platter — synced regardless of fsync policy — before any file is
+// removed. Removing first would open a crash window in which the
+// checkpoint has lost the table's files while the WAL still holds its
+// append records, and recovery refuses such a log; after a logged drop,
+// replay simply re-drops whatever files survive.
 func (db *DB) Drop(name string) (bool, error) {
-	if d := db.dur; d != nil {
+	d := db.dur
+	if d != nil {
 		d.gate.RLock()
 		defer d.gate.RUnlock()
 	}
 	key := strings.ToLower(name)
 	db.mu.Lock()
-	wasTx := false
-	if _, ok := db.txtables[key]; ok {
-		wasTx = true
-	}
-	dropped, err := db.dropLocked(key)
-	db.mu.Unlock()
-	if err != nil || !dropped {
-		return dropped, err
-	}
-	if db.dur != nil && wasTx {
-		if err := db.dur.logTableOp(encodeDropRecord(key)); err != nil {
-			return true, err
+	defer db.mu.Unlock()
+	if _, isTx := db.txtables[key]; isTx && d != nil {
+		if err := d.logTableOpSynced(encodeDropRecord(key)); err != nil {
+			return false, err
 		}
 	}
-	return true, nil
+	return db.dropLocked(key)
 }
 
 // dropNoLog is Drop minus gate and WAL record; WAL replay uses it

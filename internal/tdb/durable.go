@@ -97,25 +97,59 @@ type durability struct {
 }
 
 // logAppend writes the pending dictionary delta (if the dictionary
-// grew) plus one append record, returning the LSN to commit. Callers
-// hold the table lock, so per-table WAL order matches ID order — the
-// replay skip-watermark depends on that. Write errors are sticky on
-// the wal and surface from the commit.
+// grew) plus the batch's append records, returning the LSN to commit.
+// Callers hold the table lock, so per-table WAL order matches ID order
+// — the replay skip-watermark depends on that. Write errors are sticky
+// on the wal and surface from the commit.
+//
+// Batches and dictionary deltas whose encoding would exceed the
+// reader's maxWALRecord cap are split across records (replay composes
+// them back from each record's firstID / dictStart); a record the
+// reader would reject as corrupt must never be written, because it
+// would end the valid prefix at recovery and silently drop everything
+// acked after it.
 func (d *durability) logAppend(table string, firstID int64, txs []Tx) int64 {
 	d.logMu.Lock()
 	defer d.logMu.Unlock()
 	var frames [][]byte
 	if n := d.dict.Len(); n > d.loggedDict {
 		names := d.dict.SortedNames(false)
-		frames = append(frames, frameRecord(encodeDictRecord(d.loggedDict, names[d.loggedDict:n])))
+		frames = appendDictFrames(frames, d.loggedDict, names[d.loggedDict:n])
 		d.loggedDict = n
 	}
-	frames = append(frames, encodeAppendFrame(table, firstID, txs))
+	nframes := len(frames)
+	base := 1 + 4 + len(table) + 8 + 4
+	start, size := 0, base
+	for i, tx := range txs {
+		txSize := 8 + 4 + 4*len(tx.Items)
+		if i > start && size+txSize > maxWALRecord {
+			frames = append(frames, encodeAppendFrame(table, firstID+int64(start), txs[start:i]))
+			start, size = i, base
+		}
+		size += txSize
+	}
+	frames = append(frames, encodeAppendFrame(table, firstID+int64(start), txs[start:]))
 	lsn, _ := d.wal.writeFrames(frames...)
 	if d.cfg.Registry != nil {
-		d.cfg.Registry.Counter(MetricWALAppends).Add(1)
+		d.cfg.Registry.Counter(MetricWALAppends).Add(int64(len(frames) - nframes))
 	}
 	return lsn
+}
+
+// appendDictFrames frames one or more dictionary-growth records for
+// names starting at startID, splitting at the maxWALRecord cap.
+func appendDictFrames(frames [][]byte, startID int, names []string) [][]byte {
+	base := 1 + 4 + 4
+	start, size := 0, base
+	for i, n := range names {
+		ns := 4 + len(n)
+		if i > start && size+ns > maxWALRecord {
+			frames = append(frames, frameRecord(encodeDictRecord(startID+start, names[start:i])))
+			start, size = i, base
+		}
+		size += ns
+	}
+	return append(frames, frameRecord(encodeDictRecord(startID+start, names[start:])))
 }
 
 // logTableOp logs a create/drop record and commits it under the
@@ -128,6 +162,21 @@ func (d *durability) logTableOp(payload []byte) error {
 		return err
 	}
 	return d.wal.commit(lsn)
+}
+
+// logTableOpSynced logs a record and forces it to the platter
+// regardless of fsync policy. Drop uses it as a write barrier: under
+// interval/off a mere commit leaves the record in a buffer a kill
+// would take with it, while the file removals that follow persist
+// immediately — exactly the inconsistency WAL-first exists to prevent.
+func (d *durability) logTableOpSynced(payload []byte) error {
+	d.logMu.Lock()
+	_, err := d.wal.writeRecords(payload)
+	d.logMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return d.wal.sync()
 }
 
 func (d *durability) startBackground(db *DB) {

@@ -2,6 +2,7 @@ package tdb
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -587,4 +588,176 @@ func FuzzWALDecode(f *testing.F) {
 				len(recs2), valid2, len(recs), valid)
 		}
 	})
+}
+
+// A batch whose encoding exceeds the reader's maxWALRecord cap must be
+// split across append records at write time: one oversized record would
+// be acked as durable and then treated as corruption at recovery,
+// silently discarding the batch and everything logged after it.
+func TestDurableOversizedBatchSplitRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes and replays a >64MiB WAL")
+	}
+	dir := t.TempDir()
+	db := durOpen(t, dir, FsyncOff)
+	tbl, err := db.CreateTxTable("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3000 transactions sharing one 6000-item set: ~72MiB encoded, past
+	// the 64MiB cap. The set is shared in memory but encoded per tx.
+	items := make([]itemset.Item, 6000)
+	for i := range items {
+		items[i] = itemset.Item(i)
+	}
+	set := itemset.Set(items)
+	const nTx = 3000
+	txs := make([]Tx, nTx)
+	for i := range txs {
+		txs[i] = Tx{At: durAt(i/24, i%24), Items: set}
+	}
+	if _, _, err := tbl.AppendBatchDurable(txs); err != nil {
+		t.Fatalf("AppendBatchDurable: %v", err)
+	}
+	// A marker append after the big batch: the old bug also discarded
+	// every record following the oversized one.
+	markerID := tbl.Append(durAt(200, 1), itemset.New(1, 2, 3))
+	db.Kill()
+
+	_, recs, _, torn, err := readWALFile(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Fatalf("WAL has %d torn bytes; the writer emitted a record the reader rejects", torn)
+	}
+	appends := 0
+	for _, rec := range recs {
+		if rec.typ == walRecAppend {
+			appends++
+		}
+	}
+	if appends < 3 {
+		t.Fatalf("batch was written as %d append records, want >= 3 (split at the %d-byte cap)", appends, maxWALRecord)
+	}
+
+	db2 := durOpen(t, dir, FsyncOff)
+	got, ok := db2.TxTable("big")
+	if !ok {
+		t.Fatal("table lost")
+	}
+	if got.Len() != nTx+1 {
+		t.Fatalf("recovered %d transactions, want %d", got.Len(), nTx+1)
+	}
+	rec := collectTxs(got)
+	for i := 0; i < nTx; i++ {
+		if rec[i].ID != int64(i) || rec[i].Items.Len() != len(items) {
+			t.Fatalf("tx %d recovered as {ID %d, %d items}, want {ID %d, %d items}",
+				i, rec[i].ID, rec[i].Items.Len(), i, len(items))
+		}
+	}
+	if last := rec[nTx]; last.ID != markerID || last.Items.Key() != itemset.New(1, 2, 3).Key() {
+		t.Fatalf("marker append after the big batch recovered as %v", last)
+	}
+	db2.Kill()
+}
+
+// Dropping a table that the newest checkpoint holds, with appends in
+// the WAL, then crashing before the next checkpoint: the drop record
+// must hit the platter before the table's files are removed (even under
+// the interval policy, whose commits buffer in user space), and replay
+// must tolerate the appends that precede the drop — their table's
+// checkpoint files are legitimately gone.
+func TestDurableDropAfterCheckpointRecover(t *testing.T) {
+	dir := t.TempDir()
+	// An hour-long sync interval: nothing reaches the file unless a sync
+	// is forced, so the test proves Drop itself carries the barrier.
+	db, err := OpenDurable(dir, Durability{Fsync: FsyncInterval, SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := db.CreateTxTable("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed.Append(durAt(0, 9), itemset.New(1, 2))
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint traffic, all buffered: appends into the doomed
+	// table, plus a surviving table replay must still reconstruct.
+	doomed.Append(durAt(1, 9), itemset.New(3))
+	doomed.Append(durAt(2, 9), itemset.New(4))
+	keep, err := db.CreateTxTable("keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep.Append(durAt(3, 9), itemset.New(5, 6))
+	if dropped, err := db.Drop("doomed"); !dropped || err != nil {
+		t.Fatalf("Drop = %v, %v", dropped, err)
+	}
+	db.Kill()
+
+	db2 := durOpen(t, dir, FsyncOff)
+	if _, ok := db2.TxTable("doomed"); ok {
+		t.Fatal("dropped table resurrected by recovery")
+	}
+	got, ok := db2.TxTable("keep")
+	if !ok {
+		t.Fatal("surviving table lost: replay did not get past the dropped table's appends")
+	}
+	txs := collectTxs(got)
+	if len(txs) != 1 || txs[0].Items.Key() != itemset.New(5, 6).Key() {
+		t.Fatalf("surviving table recovered as %v", txs)
+	}
+	if sk := db2.Recovery().SkippedTx; sk != 2 {
+		t.Fatalf("recovery skipped %d transactions, want the 2 destined for the dropped table", sk)
+	}
+	db2.Kill()
+}
+
+// Concurrent create+append per goroutine: the create record must reach
+// the WAL before the table is visible to appenders, or replay meets an
+// append that precedes its table's create. Run under -race this also
+// guards the publish ordering itself.
+func TestDurableConcurrentCreateAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	db := durOpen(t, dir, FsyncOff)
+	const nTables = 8
+	var wg sync.WaitGroup
+	errs := make([]error, nTables)
+	for i := 0; i < nTables; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", i)
+			tbl, err := db.CreateTxTable(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for j := 0; j < 10; j++ {
+				tbl.Append(durAt(j, i%24), itemset.New(itemset.Item(i), itemset.Item(nTables+j)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("create t%d: %v", i, err)
+		}
+	}
+	db.Kill()
+
+	db2 := durOpen(t, dir, FsyncOff)
+	for i := 0; i < nTables; i++ {
+		tbl, ok := db2.TxTable(fmt.Sprintf("t%d", i))
+		if !ok {
+			t.Fatalf("table t%d lost", i)
+		}
+		if tbl.Len() != 10 {
+			t.Fatalf("table t%d recovered %d transactions, want 10", i, tbl.Len())
+		}
+	}
+	db2.Kill()
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/tarm-project/tarm/internal/itemset"
@@ -172,8 +173,22 @@ type RecoveryStats struct {
 // checkpoint state. Tables are resolved lazily so create records are
 // honoured in order; appends restore the IDs the transactions carried
 // when first acknowledged, skipping IDs the checkpoint already holds.
+//
+// One tolerance on top of strict replay: an append into a table the
+// checkpoint does not hold is legal when a later record drops that
+// table. Drop removes the table's checkpoint files as soon as its
+// WAL record is durable, so a crash after a drop leaves exactly this
+// shape — appends from before the drop, no files behind them. The
+// transactions are counted as skipped (the drop destroys them anyway);
+// an append with no subsequent drop still aborts the open.
 func (db *DB) replayWAL(recs []walRecord) (stats RecoveryStats, err error) {
-	for _, rec := range recs {
+	lastDrop := map[string]int{}
+	for i, rec := range recs {
+		if rec.typ == walRecDrop {
+			lastDrop[strings.ToLower(rec.table)] = i
+		}
+	}
+	for i, rec := range recs {
 		switch rec.typ {
 		case walRecDict:
 			for i, name := range rec.names {
@@ -204,6 +219,11 @@ func (db *DB) replayWAL(recs []walRecord) (stats RecoveryStats, err error) {
 		case walRecAppend:
 			t, ok := db.TxTable(rec.table)
 			if !ok {
+				if drop, dropped := lastDrop[strings.ToLower(rec.table)]; dropped && drop > i {
+					stats.SkippedTx += len(rec.txs)
+					stats.Records++
+					continue
+				}
 				return stats, fmt.Errorf("tdb: wal replay: append into unknown table %q", rec.table)
 			}
 			added, skipped := t.restoreBatch(rec.txs)

@@ -139,7 +139,29 @@ func writeAtomic(path string, body []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("tdb: rename %s: %w", tmp, err)
 	}
+	// The rename itself lives in the directory, not the file: without
+	// a directory fsync a power cut can roll the entry back to the old
+	// file even though the new content was synced. The checkpoint path
+	// depends on this — it truncates the WAL on the strength of these
+	// renames being durable.
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("tdb: sync dir for %s: %w", path, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it survive
+// power loss.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // readChecked loads a file, validates the trailing CRC and the magic,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -230,6 +231,16 @@ func (w *wal) writeFrames(frames ...[]byte) (int64, error) {
 		return w.lsn, w.err
 	}
 	for _, frame := range frames {
+		// The reader treats any length beyond maxWALRecord as corruption
+		// and ends the valid prefix there, so writing such a record would
+		// ack data that recovery silently discards — along with every
+		// record after it. logAppend splits batches below the cap; this
+		// guard turns any remaining oversized record into a sticky error
+		// the commit surfaces before the ack.
+		if len(frame)-8 > maxWALRecord {
+			w.err = fmt.Errorf("tdb: wal record payload %d bytes exceeds the %d-byte cap", len(frame)-8, maxWALRecord)
+			return w.lsn, w.err
+		}
 		if w.policy == FsyncInterval {
 			w.buf = append(w.buf, frame...)
 		} else {
@@ -377,6 +388,12 @@ func (w *wal) reset(epoch uint64) error {
 	if err := os.Rename(tmp, w.path); err != nil {
 		nf.Close()
 		os.Remove(tmp)
+		return fmt.Errorf("tdb: reset wal: %w", err)
+	}
+	// Make the rename durable: a power cut must not resurrect the old
+	// (now checkpoint-subsumed, soon divergent) log under this name.
+	if err := syncDir(filepath.Dir(w.path)); err != nil {
+		nf.Close()
 		return fmt.Errorf("tdb: reset wal: %w", err)
 	}
 	old := w.f
