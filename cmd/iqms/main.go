@@ -132,9 +132,19 @@ type execOpts struct {
 }
 
 // replState is the REPL's cross-statement memory: the trace of the
-// statement that last ran (complete or interrupted), shown by \trace.
+// statement that last ran (complete or interrupted), shown by \trace,
+// and the standing SUBSCRIBE MINE statements registered by \subscribe,
+// stepped after every executed statement.
 type replState struct {
 	lastTrace *obs.Trace
+	standings []*standingEntry
+	nextSub   int
+}
+
+// standingEntry is one REPL-registered standing statement.
+type standingEntry struct {
+	id int
+	st *tml.Standing
 }
 
 // interrupts routes SIGINT to the running statement: in an interactive
@@ -273,7 +283,61 @@ func execOne(session *tml.Session, stmt string, w io.Writer, opts execOpts, stat
 		return err
 	}
 	minisql.Format(w, res)
+	// A write may have advanced a table's clock past a granule boundary:
+	// step the standing statements so their rule deltas appear right
+	// under the statement that caused them.
+	stepStandings(ctx, w, state)
 	return nil
+}
+
+// stepStandings advances every \subscribe-registered standing statement
+// and prints the rule deltas of those that refreshed.
+func stepStandings(ctx context.Context, w io.Writer, state *replState) {
+	for _, e := range state.standings {
+		upd, err := e.st.Step(ctx)
+		if err != nil {
+			fmt.Fprintf(w, "-- subscription %d: %v\n", e.id, err)
+			continue
+		}
+		if upd != nil {
+			printSubUpdate(w, e.id, upd)
+		}
+	}
+}
+
+// printSubUpdate renders one emission: a summary line, then one line
+// per delta (+ added, - removed, ~ changed).
+func printSubUpdate(w io.Writer, id int, upd *tml.SubUpdate) {
+	var adds, removes, changes int
+	for _, d := range upd.Deltas {
+		switch d.Kind {
+		case tml.DeltaAdded:
+			adds++
+		case tml.DeltaRemoved:
+			removes++
+		default:
+			changes++
+		}
+	}
+	head := fmt.Sprintf("-- subscription %d", id)
+	if upd.Initial {
+		head += " (snapshot)"
+	}
+	if upd.ClosedLabel != "" {
+		head += " closed through " + upd.ClosedLabel
+	}
+	fmt.Fprintf(w, "%s: %d rule(s), +%d -%d ~%d\n", head, upd.Rules, adds, removes, changes)
+	for _, d := range upd.Deltas {
+		row := d.Row
+		sign := "+"
+		switch d.Kind {
+		case tml.DeltaRemoved:
+			sign, row = "-", d.Prev
+		case tml.DeltaChanged:
+			sign = "~"
+		}
+		fmt.Fprintf(w, "%s %s\n", sign, strings.Join(row, "  "))
+	}
 }
 
 // metaCommand handles \-commands; it reports whether the session
@@ -326,11 +390,63 @@ func metaCommand(cmd string, session *tml.Session, db *tdb.DB, w io.Writer, stat
 			fmt.Fprintln(w, "database saved")
 		}
 		return false, nil
+	case "\\subscribe":
+		if len(fields) == 1 {
+			if len(state.standings) == 0 {
+				fmt.Fprintln(w, "no standing statements (\\subscribe MINE ... to register one)")
+				return false, nil
+			}
+			for _, e := range state.standings {
+				fmt.Fprintf(w, "%-3d %s\n", e.id, e.st.Stmt().String())
+			}
+			return false, nil
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\subscribe"))
+		if !tml.IsSubscribeStatement(rest) {
+			rest = "SUBSCRIBE " + rest
+		}
+		stmt, err := tml.Parse(rest)
+		if err != nil {
+			return false, err
+		}
+		st, err := tml.NewStanding(session.TML, stmt)
+		if err != nil {
+			return false, err
+		}
+		state.nextSub++
+		e := &standingEntry{id: state.nextSub, st: st}
+		state.standings = append(state.standings, e)
+		fmt.Fprintf(w, "subscription %d registered: %s\n", e.id, stmt.String())
+		// The registration snapshot, if the table already has data.
+		upd, err := st.Step(context.Background())
+		if err != nil {
+			return false, err
+		}
+		if upd != nil {
+			printSubUpdate(w, e.id, upd)
+		}
+		return false, nil
+	case "\\unsubscribe":
+		if len(fields) != 2 {
+			return false, fmt.Errorf("usage: \\unsubscribe <n>")
+		}
+		for i, e := range state.standings {
+			if fmt.Sprint(e.id) == fields[1] {
+				state.standings = append(state.standings[:i], state.standings[i+1:]...)
+				fmt.Fprintf(w, "subscription %s removed\n", fields[1])
+				return false, nil
+			}
+		}
+		return false, fmt.Errorf("no subscription %s (\\subscribe lists them)", fields[1])
 	case "\\import":
 		if len(fields) != 3 {
 			return false, fmt.Errorf("usage: \\import <table> <file.csv>")
 		}
-		return false, importCSV(db, fields[1], fields[2], w)
+		if err := importCSV(db, fields[1], fields[2], w); err != nil {
+			return false, err
+		}
+		stepStandings(context.Background(), w, state)
+		return false, nil
 	case "\\export":
 		if len(fields) != 3 {
 			return false, fmt.Errorf("usage: \\export <table> <file.csv>")
@@ -350,6 +466,9 @@ TML:  MINE RULES FROM t [DURING '<pattern>'] THRESHOLD SUPPORT s CONFIDENCE c [F
 Patterns: month in (jun..aug) | weekday in (sat,sun) | every 7 offset 2 |
           between 1998-01-01 and 1998-06-30 | and/or/not combinations
 Meta: \tables  \save  \flush  \cache  \trace  \import <table> <file.csv>  \export <table> <file.csv>  \help  \quit
+      \subscribe MINE ... registers a standing statement: after each statement that advances the
+      table past a granule boundary, its rule deltas print (+ added, - removed, ~ changed).
+      \subscribe lists the standing statements; \unsubscribe <n> removes one.
       \trace shows the span tree of the last statement (operators, hold-table build, counting passes).
       \flush checkpoints a durable (-wal) database and truncates its log; elsewhere it saves like \save.
 CSV:  transaction tables use "timestamp,item1;item2"; relational tables a header row.

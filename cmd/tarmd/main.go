@@ -10,6 +10,12 @@
 //	curl -d 'MINE CYCLES FROM baskets THRESHOLD SUPPORT 0.1 CONFIDENCE 0.6;' \
 //	     'http://localhost:8440/v1/statements?format=text'
 //
+// Continuous mining: POST a SUBSCRIBE MINE statement to
+// /v1/subscriptions to register a standing statement that re-runs when
+// the append stream closes a granule, emitting rule deltas on
+// GET /v1/subscriptions/{id}/events (long-poll or SSE). -subs bounds
+// the standing statements, -sub-queue each subscriber's event ring.
+//
 // The same port serves the observability endpoints (/metrics,
 // /debug/vars, /debug/pprof) and the query introspection endpoints
 // (/v1/queries, /v1/queries/{id}, /v1/cache): every statement is
@@ -49,6 +55,8 @@ func run() error {
 	pool := fs.Int("pool", 4, "statements executing concurrently")
 	queue := fs.Int("queue", 0, "statements allowed to wait for a slot (0 = 2*pool)")
 	drain := fs.Duration("drain", 30*time.Second, "how long to wait for in-flight statements on shutdown")
+	subs := fs.Int("subs", 16, "standing SUBSCRIBE MINE statements allowed at once")
+	subQueue := fs.Int("sub-queue", 64, "per-subscription event ring capacity")
 	mf.RegisterMining(fs)
 	mf.RegisterTimeout(fs)
 	mf.RegisterCache(fs)
@@ -93,6 +101,8 @@ func run() error {
 		JournalSize: mf.JournalSize,
 		SlowQuery:   mf.SlowQuery,
 		Registry:    reg,
+		MaxSubs:     *subs,
+		SubQueue:    *subQueue,
 	}
 	if sink != nil {
 		cfg.JournalSink = sink

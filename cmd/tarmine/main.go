@@ -33,7 +33,7 @@ func main() {
 	var mf clihelp.MiningFlags
 	dbDir := flag.String("db", "", "database directory")
 	stmt := flag.String("e", "", "statement to execute (TML or SQL)")
-	experiment := flag.String("experiment", "", "experiment id (e1..e14) or 'all'")
+	experiment := flag.String("experiment", "", "experiment id (e1..e17) or 'all'")
 	jsonPath := flag.String("json", "", "with -experiment: also write the result tables as JSON to this file ('-' = stdout)")
 	statsPath := flag.String("stats", "", "write mining telemetry JSON to this file ('-' = stdout; the result table then goes to stderr)")
 	progress := flag.Bool("progress", false, "render per-pass mining progress to stderr")

@@ -159,7 +159,7 @@ func TestE2E3E4SmokeSmall(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 16 {
+	if len(ids) != 17 {
 		t.Fatalf("ids = %v", ids)
 	}
 	for _, id := range ids {

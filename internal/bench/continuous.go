@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/server"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+	"github.com/tarm-project/tarm/internal/tml"
+)
+
+// e17Statement is the standing statement under measurement.
+const e17Statement = `SUBSCRIBE MINE PERIODS FROM stream AT GRANULARITY day THRESHOLD SUPPORT 0.45 CONFIDENCE 0.6 FREQUENCY 0.9`
+
+// e17Items draws one streamed basket: a staple pair, a weekend pair
+// and a mid-stream arrival, so the standing statement keeps emitting
+// adds, removes and support changes as days close.
+func e17Items(r *rand.Rand, day, i int) []string {
+	items := []string{"bread"}
+	if r.Float64() < 0.8 {
+		items = append(items, "milk")
+	}
+	if (day%7 == 5 || day%7 == 6) && r.Float64() < 0.9 {
+		items = append(items, "choc", "wine")
+	}
+	if day >= 6 && r.Float64() < 0.6 {
+		items = append(items, "tea")
+	}
+	items = append(items, fmt.Sprintf("bg%d", r.Intn(50)))
+	return items
+}
+
+// e17Append posts one day's batch to /v1/append and returns when the
+// server has acknowledged it (WAL-durable ack semantics, in-memory
+// here).
+func e17Append(client *http.Client, url string, r *rand.Rand, day, txPer int) error {
+	type tx struct {
+		At    time.Time `json:"at"`
+		Items []string  `json:"items"`
+	}
+	txs := make([]tx, txPer)
+	for i := range txs {
+		txs[i] = tx{
+			At:    year0.AddDate(0, 0, day).Add(time.Duration(10+i) * time.Minute),
+			Items: e17Items(r, day, i),
+		}
+	}
+	body, err := json.Marshal(map[string]any{"table": "stream", "transactions": txs})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url+"/v1/append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("append day %d: status %d: %s", day, resp.StatusCode, b)
+	}
+	return nil
+}
+
+// e17Event is the slice of the events payload the experiment reads.
+type e17Event struct {
+	Seq int64 `json:"seq"`
+	tml.SubUpdate
+}
+
+// E17ContinuousLatency measures continuous mining's delta-emission
+// latency end to end over HTTP: a standing statement on tarmd, a
+// client appending one day per round, and the clock from the append's
+// 200 (the granule-closing write is durable) to the rule-delta event
+// for that close arriving on the subscriber's long-poll. The latency
+// is the refresh (cache pre-maintenance + warm re-mine) plus queue and
+// transport — what a dashboard watching the stream actually waits.
+func E17ContinuousLatency(seed int64) (Table, error) {
+	t := Table{
+		ID:     "E17",
+		Title:  "continuous mining: granule-close to rule-delta emission over HTTP (PERIODS, day granularity)",
+		Header: []string{"tx/day", "closes", "events", "deltas", "p50 ms", "p95 ms", "max ms"},
+	}
+	for _, txPer := range []int{20, 50, 100} {
+		srv := server.New(mustStreamDB(), server.Config{
+			Backend:  Backend,
+			Workers:  Workers,
+			SubQueue: 256,
+		})
+		ts := httptest.NewServer(srv)
+		client := ts.Client()
+
+		resp, err := client.Post(ts.URL+"/v1/subscriptions", "text/plain",
+			bytes.NewReader([]byte(e17Statement)))
+		if err != nil {
+			ts.Close()
+			return t, err
+		}
+		var sub struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusCreated {
+			ts.Close()
+			return t, fmt.Errorf("subscribe: status %d err %v", resp.StatusCode, err)
+		}
+
+		r := rand.New(rand.NewSource(seed))
+		const warmDays, measured = 2, 10
+		var after int64 = -1
+		var lat []float64
+		var events, deltas int
+		for day := 0; day < warmDays+measured; day++ {
+			if err := e17Append(client, ts.URL, r, day, txPer); err != nil {
+				ts.Close()
+				return t, err
+			}
+			if day < warmDays {
+				// Drain warm-up events (registration snapshot, first close)
+				// outside the measurement.
+				after = e17Drain(client, ts.URL, sub.ID, after, nil, nil)
+				continue
+			}
+			// The append above closed day-1: wait for its delta event.
+			t0 := time.Now()
+			want := timegran.GranuleOf(year0.AddDate(0, 0, day-1), timegran.Day)
+			deadline := time.Now().Add(10 * time.Second)
+			seen := false
+			for !seen {
+				if time.Now().After(deadline) {
+					ts.Close()
+					return t, fmt.Errorf("tx/day %d: no event for granule %d within 10s", txPer, want)
+				}
+				after = e17Drain(client, ts.URL, sub.ID, after, func(ev e17Event) {
+					events++
+					deltas += len(ev.Deltas)
+					if ev.ClosedThrough >= want {
+						seen = true
+					}
+				}, &seen)
+			}
+			lat = append(lat, time.Since(t0).Seconds()*1000)
+		}
+		ts.Close()
+
+		sort.Float64s(lat)
+		q := func(p float64) float64 { return lat[min(len(lat)-1, int(p*float64(len(lat))))] }
+		t.AddRow(fmt.Sprint(txPer), fmt.Sprint(measured), fmt.Sprint(events),
+			fmt.Sprint(deltas), ms(q(0.50)), ms(q(0.95)), ms(lat[len(lat)-1]))
+	}
+	t.Notes = append(t.Notes,
+		"latency clock: append 200 (the granule-closing batch is applied) -> the close's delta event read from the long-poll",
+		"includes the standing statement's cache pre-maintenance and warm re-mine, the event queue and HTTP transport")
+	return t, nil
+}
+
+// e17Drain long-polls the event stream once and feeds each event to fn,
+// returning the advanced cursor.
+func e17Drain(client *http.Client, url, id string, after int64, fn func(e17Event), stop *bool) int64 {
+	u := fmt.Sprintf("%s/v1/subscriptions/%s/events?after=%d&wait_ms=1000", url, id, after)
+	resp, err := client.Get(u)
+	if err != nil {
+		return after
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Events    []e17Event `json:"events"`
+		NextAfter int64      `json:"next_after"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&out) != nil {
+		return after
+	}
+	for _, ev := range out.Events {
+		if fn != nil {
+			fn(ev)
+		}
+	}
+	return out.NextAfter
+}
+
+// mustStreamDB builds the empty streaming table E17 appends into.
+func mustStreamDB() *tdb.DB {
+	db := tdb.NewMemDB()
+	if _, err := db.CreateTxTable("stream"); err != nil {
+		panic(err)
+	}
+	return db
+}

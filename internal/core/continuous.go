@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/tarm-project/tarm/internal/obs"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// Continuous-mining wiring: granule-close tracking over the append
+// stream's clock, and background pre-maintenance of cached hold tables
+// so a standing statement's re-run lands on a warm cache.
+//
+// The arithmetic lives in timegran (ClosedThrough: a granule is closed
+// once the stream clock passes its end instant); this file holds the
+// stateful side — remembering what was already closed so each close
+// fires exactly once — and the cache side: refreshing stale entries
+// from the change log's dirty-granule sets via the same delta path that
+// serves statements, just ahead of any statement.
+
+// CloseTracker turns a monotonically advancing stream clock into
+// discrete granule-close events. The zero value is not ready; use
+// NewCloseTracker. Safe for concurrent use.
+type CloseTracker struct {
+	g timegran.Granularity
+
+	mu      sync.Mutex
+	closed  timegran.Granule // last granule reported closed
+	started bool
+}
+
+// NewCloseTracker tracks closes at granularity g.
+func NewCloseTracker(g timegran.Granularity) *CloseTracker {
+	return &CloseTracker{g: g}
+}
+
+// Granularity returns the tracked granularity.
+func (t *CloseTracker) Granularity() timegran.Granularity { return t.g }
+
+// Advance feeds the tracker a new stream-clock reading (the newest
+// transaction timestamp) and returns the interval of granules that
+// closed since the previous call, with ok=false when none did. The
+// first call establishes the baseline — everything already closed at
+// that point is history, not an event — and returns ok=false. A clock
+// that moves backwards (out-of-order appends) never un-closes a
+// granule.
+func (t *CloseTracker) Advance(clock time.Time) (newly timegran.Interval, ok bool) {
+	ct := timegran.ClosedThrough(clock, t.g)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		t.started = true
+		t.closed = ct
+		return timegran.Interval{}, false
+	}
+	if ct <= t.closed {
+		return timegran.Interval{}, false
+	}
+	newly = timegran.Interval{Lo: t.closed + 1, Hi: ct}
+	t.closed = ct
+	return newly, true
+}
+
+// ClosedThrough returns the last granule the tracker has seen close,
+// with ok=false before the first Advance.
+func (t *CloseTracker) ClosedThrough() (timegran.Granule, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed, t.started
+}
+
+// Premaintain refreshes every resident cache entry of tbl that has gone
+// stale, using the normal serving path (delta maintenance from the
+// change log's dirty granules when the log covers the window, cold
+// rebuild otherwise), and returns how many entries were refreshed. It
+// is the background half of continuous mining: run after a granule
+// closes, it moves the recount off the critical path so the standing
+// statement's re-run — and any interactive statement that follows —
+// finds a warm entry. tr (nil ok) receives the usual cache counters.
+// Safe on a nil cache (no entries, nothing to do).
+func (c *HoldCache) Premaintain(ctx context.Context, tbl *tdb.TxTable, tr obs.Tracer) (refreshed int, err error) {
+	if c == nil {
+		return 0, nil
+	}
+	epoch := tbl.Epoch()
+	c.mu.Lock()
+	var cfgs []Config
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		ent := e.Value.(*cacheEntry)
+		if ent.key.table != tbl.Name() || ent.epoch == epoch {
+			continue
+		}
+		// Rebuild the entry's own coverage: the stored config carries the
+		// build's granularity/MinGranuleTx/backend, but the thresholds and
+		// tracer belong to whichever statement last touched it.
+		cfg := ent.h.Cfg
+		cfg.MinSupport = ent.buildSupport
+		cfg.MaxK = ent.maxK
+		cfg.Tracer = tr
+		cfgs = append(cfgs, cfg)
+	}
+	c.mu.Unlock()
+	for _, cfg := range cfgs {
+		if _, err := c.GetContext(ctx, tbl, cfg); err != nil {
+			return refreshed, err
+		}
+		refreshed++
+	}
+	return refreshed, nil
+}

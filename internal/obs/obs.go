@@ -90,6 +90,10 @@ const (
 	TaskCycles      = "cycles"
 	TaskCalendars   = "calendars"
 	TaskHistory     = "history"
+	// TaskSubscribe labels subscription-lifecycle journal records (the
+	// registration of a standing statement); each refresh the statement
+	// runs journals under its own mining task.
+	TaskSubscribe = "subscribe"
 )
 
 // TaskSpan names the tracer span of one mining task driver, e.g.

@@ -105,6 +105,11 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter(MetricAppendTx).Add(int64(len(batch)))
 	inflight.End(obs.QueryOutcome{Rows: len(batch)})
 
+	// Wake the standing statements on this table: each decides for
+	// itself whether the batch closed a granule (or dirtied a closed
+	// one) and warrants a refresh. Coalesced, never blocking.
+	s.subs.observe(req.Table)
+
 	writeJSON(w, http.StatusOK, appendResponse{
 		Table:     req.Table,
 		RequestID: w.Header().Get("X-Request-ID"),

@@ -125,6 +125,13 @@ type Config struct {
 	// JournalSink, when set, receives every completed statement record
 	// as one JSON line (an audit/replay log).
 	JournalSink io.Writer
+	// MaxSubs bounds the standing SUBSCRIBE MINE statements registered
+	// at once (0 = 16); registrations beyond it get 429 + Retry-After.
+	MaxSubs int
+	// SubQueue is each subscription's event-ring capacity (0 = 64). A
+	// subscriber that stops reading loses its *oldest* events — counted
+	// and surfaced, never blocking the refresh worker.
+	SubQueue int
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +150,12 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.MaxSubs <= 0 {
+		c.MaxSubs = 16
+	}
+	if c.SubQueue <= 0 {
+		c.SubQueue = 64
+	}
 	return c
 }
 
@@ -155,6 +168,7 @@ type Server struct {
 	reg     *obs.Registry
 	mux     *http.ServeMux
 	journal *obs.Journal
+	subs    *subManager
 
 	sem      chan struct{} // pool slots
 	admitted atomic.Int64  // statements admitted and not yet finished
@@ -202,6 +216,12 @@ func New(db *tdb.DB, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/queries/{id}", s.handleQueryByID)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.subs = newSubManager(s)
+	s.mux.HandleFunc("POST /v1/subscriptions", s.handleSubscribe)
+	s.mux.HandleFunc("GET /v1/subscriptions", s.handleSubList)
+	s.mux.HandleFunc("GET /v1/subscriptions/{id}", s.handleSubGet)
+	s.mux.HandleFunc("GET /v1/subscriptions/{id}/events", s.handleSubEvents)
+	s.mux.HandleFunc("DELETE /v1/subscriptions/{id}", s.handleSubDelete)
 	return s
 }
 
@@ -258,6 +278,10 @@ func sanitizeRequestID(id string) string {
 // http.Server.Shutdown for the connection-level half.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	// Stop the standing statements first: their background refreshes
+	// would otherwise keep the executor busy while we wait for the
+	// interactive statements to finish.
+	s.subs.shutdown()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -415,6 +439,9 @@ func (s *Server) execute(ctx context.Context, input string) (*minisql.Result, st
 	stmt, err := tml.Parse(input)
 	if err != nil {
 		return nil, "", err
+	}
+	if stmt.Subscribe {
+		return nil, "", fmt.Errorf("tarmd: SUBSCRIBE registers a standing statement; POST it to /v1/subscriptions")
 	}
 	res, err := s.exec.ExecStmtContext(ctx, stmt)
 	return res, tml.TaskKey(stmt), err

@@ -213,6 +213,7 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter(MetricImports).Add(1)
 	s.reg.Counter(MetricImportTx).Add(int64(n))
 	inflight.End(obs.QueryOutcome{Rows: n})
+	s.subs.observe(name)
 	writeJSON(w, http.StatusOK, importResponse{
 		Table:     name,
 		RequestID: w.Header().Get("X-Request-ID"),

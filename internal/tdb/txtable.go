@@ -279,6 +279,20 @@ func (t *TxTable) Span(g timegran.Granularity) (timegran.Interval, bool) {
 	return timegran.Interval{Lo: lo, Hi: hi}, true
 }
 
+// MaxAt returns the newest transaction timestamp — the *stream clock*
+// of continuous mining: a granule is closed once MaxAt passes its end
+// instant (timegran.ClosedThrough). ok is false when the table is
+// empty.
+func (t *TxTable) MaxAt() (time.Time, bool) {
+	t.ensureSorted()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.txs) == 0 {
+		return time.Time{}, false
+	}
+	return t.txs[len(t.txs)-1].At, true
+}
+
 // rowRange returns the half-open index range [i, j) of transactions
 // whose granule at g lies in iv. Requires the table sorted.
 func (t *TxTable) rowRange(g timegran.Granularity, iv timegran.Interval) (int, int) {

@@ -1,0 +1,177 @@
+package timegran
+
+import (
+	"testing"
+	"time"
+)
+
+func ts(s string) time.Time {
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		panic(err)
+	}
+	return t.UTC()
+}
+
+// TestClosedThroughBoundaries pins the half-open granule convention at
+// the close boundary: a stream clock exactly on End(n, g) closes n, one
+// nanosecond earlier leaves n open.
+func TestClosedThroughBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     Granularity
+		clock time.Time
+		want  Granule
+	}{
+		// A granule ending exactly on the clock tick: clock == End(n)
+		// closes n. 2024-01-02T00:00:00Z is End of day 2024-01-01.
+		{"day/exact-end-closes", Day, ts("2024-01-02T00:00:00Z"), GranuleOf(ts("2024-01-01T00:00:00Z"), Day)},
+		// One nanosecond before the boundary the granule is still open.
+		{"day/just-before-end-open", Day, ts("2024-01-02T00:00:00Z").Add(-time.Nanosecond), GranuleOf(ts("2024-01-01T00:00:00Z"), Day) - 1},
+		// One nanosecond after: still just n closed (n+1 barely started).
+		{"day/just-after-end", Day, ts("2024-01-02T00:00:00Z").Add(time.Nanosecond), GranuleOf(ts("2024-01-01T00:00:00Z"), Day)},
+		// Mid-granule clock: previous granule closed.
+		{"day/mid-granule", Day, ts("2024-01-02T13:45:00Z"), GranuleOf(ts("2024-01-01T00:00:00Z"), Day)},
+		// Hour granularity at an exact hour boundary.
+		{"hour/exact-end-closes", Hour, ts("2024-03-10T15:00:00Z"), GranuleOf(ts("2024-03-10T14:00:00Z"), Hour)},
+		// Week boundary: weeks start Monday; 2024-06-03 is a Monday, so
+		// that instant closes the week of 2024-05-27.
+		{"week/monday-boundary", Week, ts("2024-06-03T00:00:00Z"), GranuleOf(ts("2024-05-27T12:00:00Z"), Week)},
+		// Month with uneven lengths: Feb 2024 has 29 days (leap year);
+		// clock on Mar 1 closes February.
+		{"month/leap-feb-closes", Month, ts("2024-03-01T00:00:00Z"), GranuleOf(ts("2024-02-15T00:00:00Z"), Month)},
+		// Feb 29 of a leap year leaves February open.
+		{"month/leap-feb-open", Month, ts("2024-02-29T23:59:59Z"), GranuleOf(ts("2024-01-31T00:00:00Z"), Month)},
+		// Non-leap February closes on Mar 1 despite 28 days.
+		{"month/nonleap-feb-closes", Month, ts("2023-03-01T00:00:00Z"), GranuleOf(ts("2023-02-01T00:00:00Z"), Month)},
+		// 31-day month still open on its last day.
+		{"month/31-day-open", Month, ts("2024-01-31T23:00:00Z"), GranuleOf(ts("2023-12-01T00:00:00Z"), Month)},
+		// Year granularity: leap year 2024 closes at 2025-01-01 exactly.
+		{"year/leap-year-closes", Year, ts("2025-01-01T00:00:00Z"), GranuleOf(ts("2024-06-01T00:00:00Z"), Year)},
+		{"year/leap-year-open", Year, ts("2024-12-31T23:59:59Z"), GranuleOf(ts("2023-06-01T00:00:00Z"), Year)},
+		// Quarter with uneven month lengths: Q1 (Jan..Mar) closes Apr 1.
+		{"quarter/q1-closes", Quarter, ts("2024-04-01T00:00:00Z"), GranuleOf(ts("2024-02-01T00:00:00Z"), Quarter)},
+		// Pre-epoch clocks: granule indices are negative but the
+		// boundary convention is unchanged.
+		{"day/pre-epoch", Day, ts("1969-12-31T00:00:00Z"), GranuleOf(ts("1969-12-30T00:00:00Z"), Day)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ClosedThrough(tc.clock, tc.g)
+			if got != tc.want {
+				t.Fatalf("ClosedThrough(%v, %v) = %d, want %d", tc.clock, tc.g, got, tc.want)
+			}
+			if !Closed(tc.want, tc.g, tc.clock) {
+				t.Fatalf("Closed(%d) = false, want true", tc.want)
+			}
+			if Closed(tc.want+1, tc.g, tc.clock) {
+				t.Fatalf("Closed(%d) = true, want false (open granule)", tc.want+1)
+			}
+		})
+	}
+}
+
+// TestClosedThroughConsistency cross-checks the arithmetic against the
+// definitional predicate clock >= End(n, g) over a window of granules
+// around varied clocks, for every granularity.
+func TestClosedThroughConsistency(t *testing.T) {
+	clocks := []time.Time{
+		ts("2024-02-29T12:34:56Z"),
+		ts("2024-03-01T00:00:00Z"),
+		ts("2023-12-31T23:59:59Z"),
+		ts("1970-01-01T00:00:00Z"),
+		ts("1969-07-20T20:17:40Z"),
+	}
+	for g := Second; g <= Year; g++ {
+		for _, clock := range clocks {
+			ct := ClosedThrough(clock, g)
+			for n := ct - 2; n <= ct+2; n++ {
+				defClosed := !clock.Before(End(n, g))
+				if got := Closed(n, g, clock); got != defClosed {
+					t.Fatalf("g=%v clock=%v granule=%d: Closed=%v, definition=%v", g, clock, n, got, defClosed)
+				}
+			}
+			// NextClose is the first instant that closes another granule.
+			nc := NextClose(clock, g)
+			if ClosedThrough(nc, g) != ct+1 {
+				t.Fatalf("g=%v clock=%v: NextClose=%v closes through %d, want %d", g, clock, nc, ClosedThrough(nc, g), ct+1)
+			}
+			if ClosedThrough(nc.Add(-time.Second), g) > ct {
+				t.Fatalf("g=%v clock=%v: instant before NextClose already closed a new granule", g, clock)
+			}
+		}
+	}
+}
+
+// TestClosedOfSpans covers the span-splitting helper: the final granule
+// of a span, spans entirely closed, and zero-width (single-granule)
+// spans.
+func TestClosedOfSpans(t *testing.T) {
+	day := func(s string) Granule { return GranuleOf(ts(s), Day) }
+	cases := []struct {
+		name   string
+		span   Interval
+		clock  time.Time
+		want   Interval
+		wantOK bool
+	}{
+		// Typical streaming shape: newest data lives in the open
+		// granule span.Hi, so the closed prefix stops one short.
+		{
+			"final-granule-open",
+			Interval{Lo: day("2024-01-01T00:00:00Z"), Hi: day("2024-01-10T00:00:00Z")},
+			ts("2024-01-10T09:00:00Z"),
+			Interval{Lo: day("2024-01-01T00:00:00Z"), Hi: day("2024-01-09T00:00:00Z")},
+			true,
+		},
+		// Clock exactly at the end of the final granule: the whole span
+		// is closed, including its final granule.
+		{
+			"final-granule-closes-on-tick",
+			Interval{Lo: day("2024-01-01T00:00:00Z"), Hi: day("2024-01-10T00:00:00Z")},
+			ts("2024-01-11T00:00:00Z"),
+			Interval{Lo: day("2024-01-01T00:00:00Z"), Hi: day("2024-01-10T00:00:00Z")},
+			true,
+		},
+		// Clock far past the span: clamped to the span's end.
+		{
+			"clock-past-span",
+			Interval{Lo: day("2024-01-01T00:00:00Z"), Hi: day("2024-01-10T00:00:00Z")},
+			ts("2025-06-01T00:00:00Z"),
+			Interval{Lo: day("2024-01-01T00:00:00Z"), Hi: day("2024-01-10T00:00:00Z")},
+			true,
+		},
+		// Zero-width span (a single granule), still open.
+		{
+			"zero-width-open",
+			Interval{Lo: day("2024-01-01T00:00:00Z"), Hi: day("2024-01-01T00:00:00Z")},
+			ts("2024-01-01T23:59:59Z"),
+			Interval{},
+			false,
+		},
+		// Zero-width span whose lone granule has closed.
+		{
+			"zero-width-closed",
+			Interval{Lo: day("2024-01-01T00:00:00Z"), Hi: day("2024-01-01T00:00:00Z")},
+			ts("2024-01-02T00:00:00Z"),
+			Interval{Lo: day("2024-01-01T00:00:00Z"), Hi: day("2024-01-01T00:00:00Z")},
+			true,
+		},
+		// Clock before the span entirely: nothing closed.
+		{
+			"clock-before-span",
+			Interval{Lo: day("2024-01-05T00:00:00Z"), Hi: day("2024-01-10T00:00:00Z")},
+			ts("2024-01-03T00:00:00Z"),
+			Interval{},
+			false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := ClosedOf(tc.span, Day, tc.clock)
+			if ok != tc.wantOK || got != tc.want {
+				t.Fatalf("ClosedOf(%v, Day, %v) = %v, %v; want %v, %v", tc.span, tc.clock, got, ok, tc.want, tc.wantOK)
+			}
+		})
+	}
+}

@@ -321,6 +321,9 @@ func (e *Executor) Explain(stmt *MineStmt) (*minisql.Result, error) {
 	}
 	add("statement", stmt.String())
 	add("task", taskTitle(stmt))
+	if stmt.Subscribe {
+		add("continuous", "standing statement; re-runs at each granule close emitting rule deltas")
+	}
 	add("table", stmt.Table)
 	add("transactions", fmt.Sprint(tbl.Len()))
 	add("granularity", stmt.Granularity.String())
@@ -423,6 +426,9 @@ func (s *Session) ExecContext(ctx context.Context, input string) (*minisql.Resul
 		}
 		return s.TML.Explain(stmt)
 	}
+	if IsSubscribeStatement(input) {
+		return nil, fmt.Errorf("tml: SUBSCRIBE registers a standing statement; use \\subscribe in iqms or POST /v1/subscriptions on tarmd")
+	}
 	if IsMineStatement(input) {
 		return s.TML.ExecContext(ctx, input)
 	}
@@ -434,11 +440,17 @@ func (s *Session) ExecContext(ctx context.Context, input string) (*minisql.Resul
 // the session's spelling through it.
 func SplitExplain(input string) (string, bool) { return stripExplain(input) }
 
-// stripExplain detects "EXPLAIN MINE ..." and returns the MINE part.
+// stripExplain detects "EXPLAIN MINE ..." (and the continuous form
+// "EXPLAIN SUBSCRIBE MINE ...") and returns the statement part.
 func stripExplain(input string) (string, bool) {
 	fields := strings.Fields(input)
-	if len(fields) >= 2 && strings.EqualFold(fields[0], "explain") && strings.EqualFold(fields[1], "mine") {
-		return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(input), fields[0])), true
+	if len(fields) < 2 || !strings.EqualFold(fields[0], "explain") {
+		return "", false
 	}
-	return "", false
+	ok := strings.EqualFold(fields[1], "mine") ||
+		(len(fields) >= 3 && strings.EqualFold(fields[1], "subscribe") && strings.EqualFold(fields[2], "mine"))
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(input), fields[0])), true
 }

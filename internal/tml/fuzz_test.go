@@ -23,6 +23,17 @@ func FuzzParse(f *testing.F) {
 		`MINE RULES FROM b THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 PRUNE LIFT 1.2 PVALUE 0.01 LIMIT 5`,
 		`MINE RULES FROM b THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 PRUNE IMPROVEMENT 0.05`,
 		`MINE RULES FROM b AT GRANULARITY hour THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 MAX SIZE 3 LIMIT 0`,
+		// The continuous form: SUBSCRIBE MINE registers a standing
+		// statement; the grammar is the MINE grammar with one prefix word.
+		`SUBSCRIBE MINE RULES FROM baskets THRESHOLD SUPPORT 0.05 CONFIDENCE 0.6`,
+		`SUBSCRIBE MINE PERIODS FROM baskets AT GRANULARITY day THRESHOLD SUPPORT 0.15 CONFIDENCE 0.6 FREQUENCY 0.9 LIMIT 10;`,
+		`subscribe mine cycles from b threshold support .1 confidence .5 max length 14 min reps 2`,
+		`SUBSCRIBE MINE CALENDARS FROM b THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 MIN REPS 2`,
+		`SUBSCRIBE MINE RULES FROM b DURING 'weekday in (sat, sun)' THRESHOLD SUPPORT 0.1 CONFIDENCE 0.5 PRUNE LIFT 1.1`,
+		`EXPLAIN SUBSCRIBE MINE RULES FROM b THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`,
+		`SUBSCRIBE MINE HISTORY FROM b RULE 'a => c' THRESHOLD SUPPORT 0.5 CONFIDENCE 0.7`, // HISTORY cannot subscribe
+		`SUBSCRIBE SUBSCRIBE MINE RULES FROM b THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`,       // one prefix only
+		`SUBSCRIBE RULES FROM b THRESHOLD SUPPORT 0.5 CONFIDENCE 0.5`,                      // SUBSCRIBE without MINE
 		// Malformed shapes the lexer and clause loop must reject calmly.
 		`MINE RULES FROM`,
 		`mine rules from b threshold support .5 confidence .5`,

@@ -80,11 +80,25 @@ func lexTML(s string) ([]tmlTok, error) {
 }
 
 // IsMineStatement reports whether the input looks like TML (its first
-// word is MINE); the IQMS session uses it to route statements between
-// the TML executor and the SQL engine.
+// word is MINE, or SUBSCRIBE MINE); the IQMS session uses it to route
+// statements between the TML executor and the SQL engine.
 func IsMineStatement(input string) bool {
 	fields := strings.Fields(strings.ToLower(input))
-	return len(fields) > 0 && fields[0] == "mine"
+	if len(fields) == 0 {
+		return false
+	}
+	if fields[0] == "subscribe" {
+		return len(fields) > 1 && fields[1] == "mine"
+	}
+	return fields[0] == "mine"
+}
+
+// IsSubscribeStatement reports whether the input is the continuous form
+// (SUBSCRIBE MINE ...). Front ends use it to route standing statements
+// to a subscription manager instead of one-shot execution.
+func IsSubscribeStatement(input string) bool {
+	fields := strings.Fields(strings.ToLower(input))
+	return len(fields) > 1 && fields[0] == "subscribe" && fields[1] == "mine"
 }
 
 // Parse parses one MINE statement.
@@ -152,10 +166,11 @@ func (p *parser) integer(what string) (int, error) {
 }
 
 func (p *parser) parseMine() (*MineStmt, error) {
+	subscribe := p.acceptWord("subscribe")
 	if err := p.expectWord("mine"); err != nil {
 		return nil, err
 	}
-	stmt := &MineStmt{Granularity: timegran.Day, Limit: NoLimit}
+	stmt := &MineStmt{Subscribe: subscribe, Granularity: timegran.Day, Limit: NoLimit}
 	switch t := p.next(); t.text {
 	case "rules":
 		stmt.Target = TargetRules
@@ -339,6 +354,9 @@ func (p *parser) parseMine() (*MineStmt, error) {
 	}
 	if stmt.Target == TargetHistory && stmt.RuleSpec == "" {
 		return nil, fmt.Errorf("tml: MINE HISTORY requires a RULE 'ante => cons' clause")
+	}
+	if stmt.Subscribe && stmt.Target == TargetHistory {
+		return nil, fmt.Errorf("tml: SUBSCRIBE applies to the discovery targets, not MINE HISTORY")
 	}
 	if stmt.Support > 1 || stmt.Confidence > 1 || stmt.Frequency > 1 {
 		return nil, fmt.Errorf("tml: thresholds are fractions in (0,1]")

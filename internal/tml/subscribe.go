@@ -1,0 +1,347 @@
+package tml
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/tarm-project/tarm/internal/core"
+	"github.com/tarm-project/tarm/internal/minisql"
+	"github.com/tarm-project/tarm/internal/tdb"
+	"github.com/tarm-project/tarm/internal/timegran"
+)
+
+// Continuous mining: a SUBSCRIBE MINE statement registers a *standing*
+// statement that re-runs when granules close and emits only what
+// changed. This file is the transport-free half — the Standing type
+// that owns one statement's lifecycle (close detection, cache
+// pre-maintenance, re-execution, diffing) and the delta/fold algebra a
+// consumer needs to reconstruct the full result from the stream. The
+// tarmd server wraps Standings with queues and HTTP; iqms drives them
+// inline after each statement.
+
+// Delta kinds. "changed" covers support/confidence/frequency movement
+// of a rule whose identity is unchanged.
+const (
+	DeltaAdded   = "added"
+	DeltaRemoved = "removed"
+	DeltaChanged = "changed"
+)
+
+// RuleDelta is one change to a standing statement's result set.
+type RuleDelta struct {
+	Kind string `json:"kind"`
+	// Key is the row's identity: every display cell except the measure
+	// columns (support, confidence, frequency), joined by "\x1f". Two
+	// refreshes talk about the same rule iff their keys match.
+	Key string `json:"key"`
+	// Row is the current display row (added and changed kinds).
+	Row []string `json:"row,omitempty"`
+	// Prev is the previous display row (removed and changed kinds).
+	Prev []string `json:"prev,omitempty"`
+}
+
+// measureCol reports whether a result column carries a measure rather
+// than identity: measures may move without the rule becoming a
+// different rule.
+func measureCol(name string) bool {
+	switch name {
+	case "support", "confidence", "frequency":
+		return true
+	}
+	return false
+}
+
+// identityKey joins a row's non-measure cells. The display rendering is
+// canonical (it is what clients see), so key equality is cell equality.
+func identityKey(cols, row []string) string {
+	parts := make([]string, 0, len(row))
+	for i, c := range cols {
+		if i < len(row) && !measureCol(c) {
+			parts = append(parts, row[i])
+		}
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// rowsByKey indexes display rows by identity. Identity collisions
+// (impossible for the current renderers, whose non-measure columns are
+// unique per row) are disambiguated deterministically so a fold can
+// never silently lose a row.
+func rowsByKey(cols []string, rows [][]string) map[string][]string {
+	m := make(map[string][]string, len(rows))
+	for _, r := range rows {
+		k := identityKey(cols, r)
+		for i := 2; ; i++ {
+			if _, dup := m[k]; !dup {
+				break
+			}
+			k = fmt.Sprintf("%s\x1f#%d", identityKey(cols, r), i)
+		}
+		m[k] = r
+	}
+	return m
+}
+
+// equalRows compares two display rows cell for cell.
+func equalRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffRows computes the delta from prev to cur (both keyed by
+// identityKey). Emission order is deterministic — removed, then
+// changed, then added, each sorted by key — so equal states always
+// produce byte-identical streams.
+func DiffRows(prev, cur map[string][]string) []RuleDelta {
+	var removed, changed, added []RuleDelta
+	for k, p := range prev {
+		if c, ok := cur[k]; !ok {
+			removed = append(removed, RuleDelta{Kind: DeltaRemoved, Key: k, Prev: p})
+		} else if !equalRows(p, c) {
+			changed = append(changed, RuleDelta{Kind: DeltaChanged, Key: k, Row: c, Prev: p})
+		}
+	}
+	for k, c := range cur {
+		if _, ok := prev[k]; !ok {
+			added = append(added, RuleDelta{Kind: DeltaAdded, Key: k, Row: c})
+		}
+	}
+	byKey := func(ds []RuleDelta) {
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Key < ds[j].Key })
+	}
+	byKey(removed)
+	byKey(changed)
+	byKey(added)
+	out := make([]RuleDelta, 0, len(removed)+len(changed)+len(added))
+	out = append(out, removed...)
+	out = append(out, changed...)
+	return append(out, added...)
+}
+
+// RuleSet is a folded view of a delta stream: apply every SubUpdate's
+// deltas in order, starting from the empty set, and Rows is exactly the
+// standing statement's current result. The streaming differential
+// oracle compares it against a from-scratch MINE.
+type RuleSet struct {
+	Cols []string
+	Rows map[string][]string
+}
+
+// Apply folds one batch of deltas into the set. It is strict: removing
+// or changing an unknown key, or adding a present one, means the stream
+// was corrupted (or events were dropped) and errors rather than
+// papering over it.
+func (s *RuleSet) Apply(deltas []RuleDelta) error {
+	if s.Rows == nil {
+		s.Rows = make(map[string][]string)
+	}
+	for _, d := range deltas {
+		_, present := s.Rows[d.Key]
+		switch d.Kind {
+		case DeltaAdded:
+			if present {
+				return fmt.Errorf("tml: delta adds existing key %q", d.Key)
+			}
+			s.Rows[d.Key] = d.Row
+		case DeltaRemoved:
+			if !present {
+				return fmt.Errorf("tml: delta removes unknown key %q", d.Key)
+			}
+			delete(s.Rows, d.Key)
+		case DeltaChanged:
+			if !present {
+				return fmt.Errorf("tml: delta changes unknown key %q", d.Key)
+			}
+			s.Rows[d.Key] = d.Row
+		default:
+			return fmt.Errorf("tml: unknown delta kind %q", d.Kind)
+		}
+	}
+	return nil
+}
+
+// Sorted returns the folded rows ordered by identity key, the canonical
+// form both sides of the oracle compare.
+func (s *RuleSet) Sorted() [][]string {
+	keys := make([]string, 0, len(s.Rows))
+	for k := range s.Rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]string, len(keys))
+	for i, k := range keys {
+		out[i] = s.Rows[k]
+	}
+	return out
+}
+
+// SubUpdate is one emission of a standing statement: the deltas since
+// the previous emission plus the state they advance to.
+type SubUpdate struct {
+	// ClosedThrough is the last closed granule at emission time (under
+	// the stream clock), with its human label.
+	ClosedThrough timegran.Granule `json:"closed_through"`
+	ClosedLabel   string           `json:"closed_label"`
+	// Epoch is the table epoch this refresh is current through: every
+	// append up to it is reflected. Consumers compare it with the
+	// table's epoch to detect a settled stream.
+	Epoch int64 `json:"epoch"`
+	// Initial marks the registration snapshot (every rule arrives as
+	// "added").
+	Initial bool `json:"initial,omitempty"`
+	// Rules is the size of the result set after this update.
+	Rules  int         `json:"rules"`
+	Cols   []string    `json:"cols"`
+	Deltas []RuleDelta `json:"deltas"`
+}
+
+// Standing is one registered SUBSCRIBE MINE statement. Step — called
+// whenever the table may have advanced — detects granule closes via a
+// core.CloseTracker over the append stream's clock, pre-maintains the
+// hold-table cache from the change log's dirty granules, re-runs the
+// statement through the shared executor (plan pipeline, journal and
+// metrics included) and returns the delta update, or nil when nothing
+// warranted a refresh. Safe for concurrent Step calls (they serialise).
+type Standing struct {
+	exec *Executor
+	stmt *MineStmt
+	tbl  *tdb.TxTable
+
+	mu      sync.Mutex
+	tracker *core.CloseTracker
+	cur     map[string][]string
+	cols    []string
+	epoch   int64 // table epoch the last refresh was current through
+	started bool
+}
+
+// NewStanding validates and registers stmt (which must be a SUBSCRIBE
+// form) against e's database.
+func NewStanding(e *Executor, stmt *MineStmt) (*Standing, error) {
+	if !stmt.Subscribe {
+		return nil, fmt.Errorf("tml: statement is not a SUBSCRIBE form")
+	}
+	if stmt.Target == TargetHistory {
+		return nil, fmt.Errorf("tml: SUBSCRIBE applies to the discovery targets, not MINE HISTORY")
+	}
+	tbl, ok := e.db.TxTable(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("tml: no transaction table named %q", stmt.Table)
+	}
+	return &Standing{
+		exec:    e,
+		stmt:    stmt,
+		tbl:     tbl,
+		tracker: core.NewCloseTracker(stmt.Granularity),
+	}, nil
+}
+
+// Stmt returns the standing statement.
+func (s *Standing) Stmt() *MineStmt { return s.stmt }
+
+// Table returns the transaction table the statement mines.
+func (s *Standing) Table() *tdb.TxTable { return s.tbl }
+
+// Epoch returns the table epoch the last emitted update was current
+// through (0 before the first).
+func (s *Standing) Epoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Step advances the subscription. A refresh runs when (a) this is the
+// first Step (the registration snapshot), (b) the stream clock closed
+// one or more granules since the last Step, or (c) out-of-order appends
+// dirtied an already-closed granule. Appends confined to the open
+// granule do not refresh: their granule's rules are not final and will
+// be mined when it closes. Returns nil (no update) when no refresh ran.
+func (s *Standing) Step(ctx context.Context) (*SubUpdate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clock, ok := s.tbl.MaxAt()
+	if !ok {
+		return nil, nil // empty table: nothing to mine yet
+	}
+	_, closedAny := s.tracker.Advance(clock)
+	refresh := !s.started || closedAny
+	if !refresh {
+		ct, _ := s.tracker.ClosedThrough()
+		dirty, _, logOK := s.tbl.DirtySince(s.stmt.Granularity, s.epoch)
+		if !logOK {
+			// Change log trimmed past our window: we can no longer tell
+			// what moved, so refresh.
+			refresh = true
+		} else {
+			for _, g := range dirty {
+				if g <= ct {
+					refresh = true
+					break
+				}
+			}
+		}
+	}
+	if !refresh {
+		return nil, nil
+	}
+	// Read the epoch before mining: an append racing the scan may or may
+	// not be in this result, but it stays dirty relative to this epoch
+	// and triggers a follow-up refresh, so the stream always converges
+	// to the table's settled state.
+	epoch := s.tbl.Epoch()
+	if _, err := s.exec.Cache.Premaintain(ctx, s.tbl, s.exec.Tracer); err != nil {
+		return nil, err
+	}
+	res, err := s.exec.ExecStmtContext(ctx, s.stmt)
+	if err != nil {
+		return nil, err
+	}
+	cur := rowsByKey(res.Cols, displayCells(res))
+	upd := &SubUpdate{
+		Epoch:   epoch,
+		Initial: !s.started,
+		Rules:   len(cur),
+		Cols:    res.Cols,
+		Deltas:  DiffRows(s.cur, cur),
+	}
+	if ct, ok := s.tracker.ClosedThrough(); ok {
+		upd.ClosedThrough = ct
+		upd.ClosedLabel = timegran.FormatGranule(ct, s.stmt.Granularity)
+	}
+	s.cur, s.cols, s.epoch, s.started = cur, res.Cols, epoch, true
+	return upd, nil
+}
+
+// displayCells renders a result's rows exactly as the CLI and the
+// server's JSON rows render them, the canonical cell form deltas and
+// folds are defined over.
+func displayCells(res *minisql.Result) [][]string {
+	rows := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.Display()
+		}
+		rows[i] = cells
+	}
+	return rows
+}
+
+// DisplayCells is displayCells for external consumers (the server's
+// differential oracle renders its reference MINE through it so both
+// sides of the comparison share one rendering).
+func DisplayCells(res *minisql.Result) [][]string { return displayCells(res) }
+
+// KeyRows indexes display rows by identity key, the form RuleSet folds
+// compare against; exported for the oracle.
+func KeyRows(cols []string, rows [][]string) map[string][]string { return rowsByKey(cols, rows) }

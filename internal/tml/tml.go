@@ -73,6 +73,11 @@ func (t Target) String() string {
 type MineStmt struct {
 	Target Target
 	Table  string
+	// Subscribe marks the continuous form (SUBSCRIBE MINE ...): the
+	// statement registers as a standing query that re-runs when granules
+	// close and emits rule deltas, instead of executing once. HISTORY
+	// cannot be subscribed (the parser rejects it).
+	Subscribe bool
 	// During is the parsed DURING pattern (nil when absent); DuringSrc
 	// keeps the original text for reporting.
 	During    timegran.Pattern
@@ -102,6 +107,9 @@ type MineStmt struct {
 // yields an equivalent statement (defaults are printed explicitly).
 func (m *MineStmt) String() string {
 	var b strings.Builder
+	if m.Subscribe {
+		b.WriteString("SUBSCRIBE ")
+	}
 	fmt.Fprintf(&b, "MINE %s FROM %s", m.Target, m.Table)
 	if m.RuleSpec != "" {
 		fmt.Fprintf(&b, " RULE '%s'", m.RuleSpec)
